@@ -1,0 +1,79 @@
+// Command epbench runs the reproduction experiment suite (E1–E9, A1–A5;
+// see DESIGN.md §4) and prints one table per experiment.  Since the paper
+// is a theory paper with no measurement section, these tables are the
+// "figures" of the reproduction: each operationalizes one worked example
+// or theorem and self-validates.
+//
+// Usage:
+//
+//	epbench            # full suite
+//	epbench -quick     # smaller instances
+//	epbench -run E3    # one experiment
+//	epbench -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "run reduced instance sizes")
+		runID  = flag.String("run", "", "run a single experiment by id (e.g. E3)")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+	if *list {
+		for _, s := range experiments.All() {
+			fmt.Printf("%-3s  %s\n", s.ID, s.Title)
+		}
+		return
+	}
+	cfg := experiments.Config{Quick: *quick}
+	specs := experiments.All()
+	if *runID != "" {
+		s, err := experiments.Get(*runID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "epbench:", err)
+			os.Exit(1)
+		}
+		specs = []experiments.Spec{s}
+	}
+	failed := 0
+	for _, s := range specs {
+		start := time.Now()
+		tbl, err := s.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "epbench: %s failed: %v\n", s.ID, err)
+			failed++
+			continue
+		}
+		fmt.Print(tbl.Render())
+		fmt.Printf("elapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "epbench:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, s.ID+".csv")
+			if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "epbench:", err)
+				os.Exit(1)
+			}
+		}
+		if !tbl.OK {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "epbench: %d experiment(s) failed validation\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import "testing"
+
+func TestParseRange(t *testing.T) {
+	cases := []struct {
+		in     string
+		lo, hi int
+		ok     bool
+	}{
+		{"2..5", 2, 5, true},
+		{"3", 3, 3, true},
+		{"5..2", 0, 0, false},
+		{"x..y", 0, 0, false},
+		{"2..y", 0, 0, false},
+	}
+	for _, c := range cases {
+		lo, hi, err := parseRange(c.in)
+		if c.ok && (err != nil || lo != c.lo || hi != c.hi) {
+			t.Errorf("parseRange(%q) = %d,%d,%v", c.in, lo, hi, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("parseRange(%q) should fail", c.in)
+		}
+	}
+}
+
+func TestFamilyGen(t *testing.T) {
+	for _, name := range []string{"path", "freepath", "clique", "cliquesentence", "star", "cycle", "CLIQUE"} {
+		if _, err := familyGen(name); err != nil {
+			t.Errorf("familyGen(%q) failed: %v", name, err)
+		}
+	}
+	if _, err := familyGen("nope"); err == nil {
+		t.Error("unknown family should fail")
+	}
+}
+
+func TestRunFamilySmoke(t *testing.T) {
+	if err := runFamily("path", "2..3"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassifyOneSmoke(t *testing.T) {
+	if err := classifyOne("q(s,t) := exists u. E(s,u) & E(u,t)", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := classifyOne("not a query ((", 1, 1); err == nil {
+		t.Fatal("bad query should fail")
+	}
+}

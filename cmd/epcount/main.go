@@ -1,0 +1,136 @@
+// Command epcount counts the answers to an existential positive query on
+// a finite structure.
+//
+// Usage:
+//
+//	epcount -query 'phi(x,y) := E(x,y) | E(y,x)' -data graph.facts
+//	epcount -queryfile q.epq -data db.facts -engine projection -explain
+//
+// The query is given inline (-query) or from a file (-queryfile); the
+// structure is a fact file (see ParseStructure syntax).  -explain prints
+// the compiled pipeline (normalized disjuncts, φ*, φ⁺ and the structural
+// parameters of the trichotomy) before counting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	epcq "repro"
+	"repro/internal/core"
+	"repro/internal/count"
+)
+
+func main() {
+	var (
+		queryStr  = flag.String("query", "", "query text, e.g. 'phi(x,y) := E(x,y)'")
+		queryFile = flag.String("queryfile", "", "file containing the query")
+		dataFile  = flag.String("data", "", "fact file with the structure (required)")
+		engine    = flag.String("engine", "fpt", "counting engine: fpt | fpt-nocore | projection | brute")
+		explain   = flag.Bool("explain", false, "print the compiled pipeline before counting")
+		verify    = flag.Bool("verify", false, "cross-check with a second engine")
+		timing    = flag.Bool("time", false, "print elapsed wall-clock time")
+		answers   = flag.Int("answers", 0, "also print up to N answers (-1 = all)")
+	)
+	flag.Parse()
+	if err := run(*queryStr, *queryFile, *dataFile, *engine, *explain, *verify, *timing, *answers); err != nil {
+		fmt.Fprintln(os.Stderr, "epcount:", err)
+		os.Exit(1)
+	}
+}
+
+func run(queryStr, queryFile, dataFile, engineName string, explain, verify, timing bool, answers int) error {
+	if (queryStr == "") == (queryFile == "") {
+		return fmt.Errorf("exactly one of -query or -queryfile is required")
+	}
+	if dataFile == "" {
+		return fmt.Errorf("-data is required")
+	}
+	if queryFile != "" {
+		raw, err := os.ReadFile(queryFile)
+		if err != nil {
+			return err
+		}
+		queryStr = string(raw)
+	}
+	q, err := epcq.ParseQuery(queryStr)
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(dataFile)
+	if err != nil {
+		return err
+	}
+	// Parse the structure against the query's signature so that relations
+	// the query mentions but the data omits are present (and empty).
+	sig, err := epcq.InferSignature(q)
+	if err != nil {
+		return err
+	}
+	b, err := epcq.ParseStructure(string(raw), sig)
+	if err != nil {
+		return err
+	}
+	eng, err := parseEngine(engineName)
+	if err != nil {
+		return err
+	}
+	c, err := core.NewCounter(q, sig, eng)
+	if err != nil {
+		return err
+	}
+	if explain {
+		fmt.Print(c.Explain())
+	}
+	start := time.Now()
+	n, err := c.Count(b)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%v\n", n)
+	if verify {
+		v, err := c.CountWithAllEngines(b)
+		if err != nil {
+			return err
+		}
+		if v.Cmp(n) != 0 {
+			return fmt.Errorf("verification failed: %v vs %v", v, n)
+		}
+		fmt.Fprintln(os.Stderr, "verified: engines agree")
+	}
+	if timing {
+		fmt.Fprintf(os.Stderr, "elapsed: %v (|B| = %d, %d tuples)\n", elapsed, b.Size(), b.NumTuples())
+	}
+	if answers != 0 {
+		limit := answers
+		if limit < 0 {
+			limit = 0 // unlimited
+		}
+		_, err := c.Answers(b, limit, func(a count.Answer) bool {
+			fmt.Printf("  (%s)\n", strings.Join(a, ", "))
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseEngine(name string) (count.PPEngine, error) {
+	switch name {
+	case "fpt", "auto":
+		return count.EngineFPT, nil
+	case "fpt-nocore":
+		return count.EngineFPTNoCore, nil
+	case "projection", "proj":
+		return count.EngineProjection, nil
+	case "brute":
+		return count.EngineBrute, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q (want fpt, fpt-nocore, projection or brute)", name)
+}

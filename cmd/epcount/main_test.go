@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/count"
+)
+
+func TestParseEngine(t *testing.T) {
+	cases := map[string]count.PPEngine{
+		"fpt":        count.EngineFPT,
+		"auto":       count.EngineFPT,
+		"fpt-nocore": count.EngineFPTNoCore,
+		"projection": count.EngineProjection,
+		"proj":       count.EngineProjection,
+		"brute":      count.EngineBrute,
+	}
+	for name, want := range cases {
+		got, err := parseEngine(name)
+		if err != nil || got != want {
+			t.Errorf("parseEngine(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseEngine("quantum"); err == nil {
+		t.Error("unknown engine should fail")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "g.facts")
+	if err := os.WriteFile(data, []byte("E(a,b). E(b,c). E(c,a).\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("p(s,t) := exists u. E(s,u) & E(u,t)", "", data, "fpt", false, true, false, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Query file variant.
+	qf := filepath.Join(dir, "q.epq")
+	if err := os.WriteFile(qf, []byte("p(x,y) := E(x,y)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", qf, data, "projection", true, false, true, -1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunArgumentValidation(t *testing.T) {
+	if err := run("", "", "x.facts", "fpt", false, false, false, 0); err == nil {
+		t.Fatal("missing query should fail")
+	}
+	if err := run("q(x) := E(x,x)", "qf", "x.facts", "fpt", false, false, false, 0); err == nil {
+		t.Fatal("both query and queryfile should fail")
+	}
+	if err := run("q(x) := E(x,x)", "", "", "fpt", false, false, false, 0); err == nil {
+		t.Fatal("missing data should fail")
+	}
+	if err := run("q(x) := E(x,x)", "", "/nonexistent.facts", "fpt", false, false, false, 0); err == nil {
+		t.Fatal("missing data file should fail")
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseSig(t *testing.T) {
+	sig, err := parseSig("E/2, F/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar, _ := sig.Arity("E"); ar != 2 {
+		t.Fatal("arity wrong")
+	}
+	if ar, _ := sig.Arity("F"); ar != 1 {
+		t.Fatal("arity wrong")
+	}
+	for _, bad := range []string{"E", "E/x", "E/0"} {
+		if _, err := parseSig(bad); err == nil {
+			t.Errorf("parseSig(%q) should fail", bad)
+		}
+	}
+}
+
+func TestGenerateKinds(t *testing.T) {
+	kinds := []string{"er", "planted", "grid", "path", "cycle", "complete", "random", "social"}
+	for _, k := range kinds {
+		s, err := generate(k, 8, 0.3, 3, 3, 3, 0.2, "E/2", 4, 2, 1)
+		if err != nil {
+			t.Fatalf("generate(%q): %v", k, err)
+		}
+		if s.Size() == 0 {
+			t.Fatalf("generate(%q): empty structure", k)
+		}
+		if _, err := s.FactsString(); err != nil {
+			t.Fatalf("generate(%q) not serializable: %v", k, err)
+		}
+	}
+	if _, err := generate("nope", 1, 0, 0, 0, 0, 0, "", 0, 0, 0); err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+}

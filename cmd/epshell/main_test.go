@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func newTestShell(t *testing.T) (*shell, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	return &shell{out: &buf}, &buf
+}
+
+func TestShellSession(t *testing.T) {
+	sh, out := newTestShell(t)
+	dir := t.TempDir()
+	facts := filepath.Join(dir, "g.facts")
+	if err := os.WriteFile(facts, []byte("E(a,b). E(b,c). E(c,a).\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	steps := []string{
+		"load " + facts,
+		"show",
+		"count p(s,t) := exists u. E(s,u) & E(u,t)",
+		"answers 2 p(x,y) := E(x,y)",
+		"explain q(x,y) := E(x,y) | E(y,x)",
+		"classify c(x,y,z) := E(x,y) & E(y,z) & E(z,x)",
+		"equiv a(x,y) := E(x,y) ;; b(w,z) := E(w,z)",
+		"fact E(c,d)",
+		"count p(x,y) := E(x,y)",
+	}
+	for _, s := range steps {
+		if err := sh.dispatch(s); err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+	}
+	text := out.String()
+	for _, want := range []string{
+		"loaded 3 elements",
+		"universe",
+		"3", // 3 two-step walks on the triangle
+		"2 answer(s) shown",
+		"φ⁺ size",
+		"p-#Clique-hard",
+		"counting equivalent: true",
+		"4", // after adding E(c,d): 4 edges
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("session output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestShellErrors(t *testing.T) {
+	sh, _ := newTestShell(t)
+	for _, s := range []string{
+		"count p(x) := E(x,x)", // no structure
+		"show",
+		"load /nonexistent.facts",
+		"flurb",
+		"equiv onlyone",
+	} {
+		if err := sh.dispatch(s); err == nil {
+			t.Errorf("%q should fail", s)
+		}
+	}
+	if err := sh.dispatch("help"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShellReplQuit(t *testing.T) {
+	sh, out := newTestShell(t)
+	sh.repl(strings.NewReader("help\nquit\n"))
+	if !strings.Contains(out.String(), "commands:") {
+		t.Fatal("repl did not print help")
+	}
+}
+
+func TestShellFactBootstrapsStructure(t *testing.T) {
+	sh, out := newTestShell(t)
+	if err := sh.dispatch("fact E(a,b). E(b,a)."); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.dispatch("count q(x,y) := E(x,y)"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+	// Widening the signature through a new relation.
+	if err := sh.dispatch("fact F(a)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.dispatch("count q(x) := F(x)"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+// Social-network analytics with counting UCQs — the motivating workload
+// of the paper's introduction (counting operators in decision-support
+// queries over large data volumes).
+//
+// The example builds a synthetic social network (persons follow persons,
+// like items, join groups) and answers counting questions with ep-queries:
+// each is compiled once and evaluated with the FPT engine.
+//
+// Run with: go run ./examples/socialnetwork
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	epcq "repro"
+)
+
+func buildNetwork(nPersons, nItems, nGroups int, seed int64) (*epcq.Structure, error) {
+	sig, err := epcq.NewSignature(
+		epcq.RelSym{Name: "Follows", Arity: 2},
+		epcq.RelSym{Name: "Likes", Arity: 2},
+		epcq.RelSym{Name: "Member", Arity: 2},
+	)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := epcq.NewStructure(sig)
+	person := func(i int) string { return fmt.Sprintf("p%d", i) }
+	item := func(i int) string { return fmt.Sprintf("i%d", i) }
+	group := func(i int) string { return fmt.Sprintf("g%d", i) }
+	for i := 1; i < nPersons; i++ {
+		for d := 0; d < 1+rng.Intn(3); d++ {
+			j := rng.Intn(i)
+			if err := s.AddFact("Follows", person(i), person(j)); err != nil {
+				return nil, err
+			}
+			if rng.Float64() < 0.25 {
+				_ = s.AddFact("Follows", person(j), person(i))
+			}
+		}
+	}
+	for i := 0; i < nPersons; i++ {
+		for d := 0; d < 1+rng.Intn(4); d++ {
+			_ = s.AddFact("Likes", person(i), item(rng.Intn(nItems)))
+		}
+		if rng.Float64() < 0.8 {
+			_ = s.AddFact("Member", person(i), group(rng.Intn(nGroups)))
+		}
+	}
+	return s, nil
+}
+
+func main() {
+	db, err := buildNetwork(400, 60, 8, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d nodes, %d facts\n\n", db.Size(), db.NumTuples())
+
+	queries := []struct {
+		what string
+		src  string
+	}{
+		{
+			"follower pairs (a follows b)",
+			"f(a,b) := Follows(a,b)",
+		},
+		{
+			"pairs with a common liked item",
+			"common(a,b) := exists i. Likes(a,i) & Likes(b,i)",
+		},
+		{
+			"2-step influence pairs (a follows someone following b)",
+			"infl(a,b) := exists m. Follows(a,m) & Follows(m,b)",
+		},
+		{
+			"mutual-follow pairs inside one group",
+			"mg(a,b) := exists g. Follows(a,b) & Follows(b,a) & Member(a,g) & Member(b,g)",
+		},
+		{
+			"pairs related by co-like OR co-membership (a genuine UCQ)",
+			"rel(a,b) := (exists i. Likes(a,i) & Likes(b,i)) | (exists g. Member(a,g) & Member(b,g))",
+		},
+		{
+			"triples: a follows b, b likes an item also liked by c",
+			"t(a,b,c) := exists i. Follows(a,b) & Likes(b,i) & Likes(c,i)",
+		},
+	}
+
+	for _, spec := range queries {
+		q, err := epcq.ParseQuery(spec.src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		counter, err := epcq.NewCounter(q, db.Signature(), epcq.EngineFPT)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := counter.Count(db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := counter.Classify(1, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-58s %12v   [%v]\n", spec.what, n, v.Case)
+	}
+
+	fmt.Println("\nNote: counts are over the liberal variables, so 'pairs' count")
+	fmt.Println("ordered pairs including a = b; the classification column is the")
+	fmt.Println("Theorem 3.2 case of each query's φ⁺ relative to width bounds (1,1).")
+}

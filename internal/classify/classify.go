@@ -1,0 +1,240 @@
+// Package classify operationalizes the trichotomy theorem (Theorem 3.2).
+// For a pp-formula it measures the two quantities the classification is
+// stated in: the treewidth of the core and the treewidth of the contract
+// graph (Section 2.4).  For an ep-formula it first computes φ⁺
+// (Theorem 3.1) and takes worst cases over its members.  For a
+// parameterized query family it reports the growth of both widths, which
+// is what distinguishes the three cases:
+//
+//	case 1 (FPT):            contract tw bounded and core tw bounded
+//	case 2 (p-Clique-equiv): contract tw bounded, core tw unbounded
+//	case 3 (p-#Clique-hard): contract tw unbounded
+//
+// The trichotomy is a statement about infinite classes; for finite inputs
+// the package reports measured widths and the case a family generating
+// them would fall into relative to supplied bounds.
+package classify
+
+import (
+	"fmt"
+
+	"repro/internal/eptrans"
+	"repro/internal/logic"
+	"repro/internal/pp"
+	"repro/internal/structure"
+	"repro/internal/tw"
+)
+
+// Case is a trichotomy case of Theorem 3.2.
+type Case int
+
+const (
+	// CaseFPT is case (1): the tractability condition holds.
+	CaseFPT Case = iota + 1
+	// CaseClique is case (2): only the contraction condition holds;
+	// equivalent to p-Clique under counting FPT-reductions.
+	CaseClique
+	// CaseSharpClique is case (3): the contraction condition fails;
+	// hard for p-#Clique.
+	CaseSharpClique
+)
+
+func (c Case) String() string {
+	switch c {
+	case CaseFPT:
+		return "case 1: FPT (tractability condition)"
+	case CaseClique:
+		return "case 2: p-Clique-interreducible (contraction condition only)"
+	case CaseSharpClique:
+		return "case 3: p-#Clique-hard"
+	}
+	return "unknown"
+}
+
+// Report carries the measured structural parameters of one pp-formula.
+type Report struct {
+	Formula pp.PP
+	// Core is the cored formula (core of the augmented structure).
+	Core pp.PP
+	// CoreTreewidth is the treewidth of the core's graph.
+	CoreTreewidth int
+	// ContractTreewidth is the treewidth of contract(A,S).
+	ContractTreewidth int
+	// CoreExact / ContractExact report whether the widths are exact or
+	// heuristic upper bounds (graphs beyond the exact-search cap).
+	CoreExact     bool
+	ContractExact bool
+	// NumExistsComponents is the number of ∃-components of the core.
+	NumExistsComponents int
+	// MaxInterface is the largest ∃-component interface.
+	MaxInterface int
+}
+
+// AnalyzePP measures one pp-formula.
+func AnalyzePP(p pp.PP) (Report, error) {
+	core, err := p.Core()
+	if err != nil {
+		return Report{}, err
+	}
+	r := Report{Formula: p, Core: core}
+	g := core.Graph()
+	r.CoreTreewidth, _, r.CoreExact = tw.Treewidth(g)
+	cg, _ := pp.ContractGraph(core)
+	r.ContractTreewidth, _, r.ContractExact = tw.Treewidth(cg)
+	ecs := pp.ExistsComponents(core)
+	r.NumExistsComponents = len(ecs)
+	for _, ec := range ecs {
+		if len(ec.Interface) > r.MaxInterface {
+			r.MaxInterface = len(ec.Interface)
+		}
+	}
+	return r, nil
+}
+
+// Verdict classifies a set of measured formulas against width bounds: a
+// family whose members all satisfy contractTW ≤ wContract and coreTW ≤
+// wCore satisfies the tractability condition with those constants.
+type Verdict struct {
+	Case              Case
+	MaxCoreTW         int
+	MaxContractTW     int
+	Reports           []Report
+	WCore, WContract  int
+	AllWidthsExact    bool
+	LimitingFormulaID int // index of a width-maximizing formula
+}
+
+func (v Verdict) String() string {
+	return fmt.Sprintf("%v (max core tw %d vs bound %d, max contract tw %d vs bound %d)",
+		v.Case, v.MaxCoreTW, v.WCore, v.MaxContractTW, v.WContract)
+}
+
+// ClassifyPPSet classifies a finite set of pp-formulas relative to the
+// width bounds (wCore, wContract): the verdict is the Theorem 3.2 case of
+// any family whose members stay within the measured maxima iff those
+// maxima respect the bounds.
+func ClassifyPPSet(pps []pp.PP, wCore, wContract int) (Verdict, error) {
+	v := Verdict{WCore: wCore, WContract: wContract, AllWidthsExact: true, LimitingFormulaID: -1}
+	for i, p := range pps {
+		r, err := AnalyzePP(p)
+		if err != nil {
+			return Verdict{}, err
+		}
+		v.Reports = append(v.Reports, r)
+		if r.CoreTreewidth > v.MaxCoreTW || r.ContractTreewidth > v.MaxContractTW {
+			v.LimitingFormulaID = i
+		}
+		if r.CoreTreewidth > v.MaxCoreTW {
+			v.MaxCoreTW = r.CoreTreewidth
+		}
+		if r.ContractTreewidth > v.MaxContractTW {
+			v.MaxContractTW = r.ContractTreewidth
+		}
+		if !r.CoreExact || !r.ContractExact {
+			v.AllWidthsExact = false
+		}
+	}
+	switch {
+	case v.MaxContractTW <= wContract && v.MaxCoreTW <= wCore:
+		v.Case = CaseFPT
+	case v.MaxContractTW <= wContract:
+		v.Case = CaseClique
+	default:
+		v.Case = CaseSharpClique
+	}
+	return v, nil
+}
+
+// ClassifyEP compiles an ep-query to φ⁺ (Theorem 3.1) and classifies the
+// members: by the equivalence theorem the query class inherits exactly the
+// complexity of its φ⁺ (Theorem 3.2's proof).
+func ClassifyEP(q logic.Query, sig *structure.Signature, wCore, wContract int) (Verdict, *eptrans.Compiled, error) {
+	c, err := eptrans.Compile(q, sig)
+	if err != nil {
+		return Verdict{}, nil, err
+	}
+	v, err := ClassifyPPSet(c.Plus, wCore, wContract)
+	if err != nil {
+		return Verdict{}, nil, err
+	}
+	return v, c, nil
+}
+
+// FamilyPoint is one sample of a parameterized family analysis.
+type FamilyPoint struct {
+	K          int
+	CoreTW     int
+	ContractTW int
+}
+
+// Trend summarizes how a width grows along a family.
+type Trend int
+
+const (
+	// TrendBounded: the width is constant over the sampled tail.
+	TrendBounded Trend = iota
+	// TrendGrowing: the width increases along the samples.
+	TrendGrowing
+)
+
+func (t Trend) String() string {
+	if t == TrendBounded {
+		return "bounded"
+	}
+	return "growing"
+}
+
+// FamilyVerdict reports the measured growth of both widths along a
+// parameterized family and the trichotomy case the observed trends imply
+// (assuming the trends continue, which for the built-in families is a
+// theorem-level fact noted in their documentation).
+type FamilyVerdict struct {
+	Points        []FamilyPoint
+	CoreTrend     Trend
+	ContractTrend Trend
+	ImpliedCase   Case
+}
+
+// AnalyzeFamily measures gen(k) for each k in ks.  gen must return the
+// ep-query for parameter k; widths are taken as the maximum over the φ⁺
+// members.
+func AnalyzeFamily(gen func(k int) logic.Query, sig *structure.Signature, ks []int) (FamilyVerdict, error) {
+	var fv FamilyVerdict
+	for _, k := range ks {
+		v, _, err := ClassifyEP(gen(k), sig, 0, 0)
+		if err != nil {
+			return FamilyVerdict{}, err
+		}
+		fv.Points = append(fv.Points, FamilyPoint{K: k, CoreTW: v.MaxCoreTW, ContractTW: v.MaxContractTW})
+	}
+	fv.CoreTrend = trendOf(fv.Points, func(p FamilyPoint) int { return p.CoreTW })
+	fv.ContractTrend = trendOf(fv.Points, func(p FamilyPoint) int { return p.ContractTW })
+	switch {
+	case fv.ContractTrend == TrendBounded && fv.CoreTrend == TrendBounded:
+		fv.ImpliedCase = CaseFPT
+	case fv.ContractTrend == TrendBounded:
+		fv.ImpliedCase = CaseClique
+	default:
+		fv.ImpliedCase = CaseSharpClique
+	}
+	return fv, nil
+}
+
+func trendOf(pts []FamilyPoint, f func(FamilyPoint) int) Trend {
+	if len(pts) < 2 {
+		return TrendBounded
+	}
+	last := f(pts[len(pts)-1])
+	prev := f(pts[len(pts)-2])
+	if last > prev {
+		return TrendGrowing
+	}
+	// Constant over the sampled tail (last two equal): check whether the
+	// whole suffix after the first sample is flat.
+	for i := 1; i < len(pts); i++ {
+		if f(pts[i]) > f(pts[i-1]) && i == len(pts)-1 {
+			return TrendGrowing
+		}
+	}
+	return TrendBounded
+}

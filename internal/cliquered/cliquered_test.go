@@ -1,0 +1,87 @@
+package cliquered
+
+import (
+	"testing"
+
+	"repro/internal/count"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+func TestCountCliquesViaQueryMatchesNative(t *testing.T) {
+	graphs := []*graph.Graph{
+		workload.CompleteGraph(5),
+		workload.PathGraph(6),
+		workload.CycleGraph(5),
+		workload.ER(8, 0.5, 7),
+		workload.PlantedClique(9, 0.3, 4, 11),
+	}
+	for gi, g := range graphs {
+		for k := 2; k <= 4; k++ {
+			want := g.CountCliques(k)
+			got, err := CountCliquesViaQuery(g, k, count.EngineProjection)
+			if err != nil {
+				t.Fatalf("graph %d k=%d: %v", gi, k, err)
+			}
+			if got.Cmp(want) != 0 {
+				t.Fatalf("graph %d k=%d: via query %v != native %v", gi, k, got, want)
+			}
+		}
+	}
+}
+
+func TestCountCliquesViaFPTEngine(t *testing.T) {
+	g := workload.PlantedClique(8, 0.4, 4, 3)
+	want := g.CountCliques(3)
+	got, err := CountCliquesViaQuery(g, 3, count.EngineFPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(want) != 0 {
+		t.Fatalf("FPT engine: %v != %v", got, want)
+	}
+}
+
+func TestHasCliqueViaQuery(t *testing.T) {
+	g := workload.PlantedClique(10, 0.2, 4, 5)
+	for k := 2; k <= 5; k++ {
+		want := g.HasClique(k)
+		got, err := HasCliqueViaQuery(g, k, count.EngineProjection)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("k=%d: via query %v != native %v", k, got, want)
+		}
+	}
+}
+
+func TestTrivialK(t *testing.T) {
+	g := workload.PathGraph(3)
+	if c, err := CountCliquesViaQuery(g, 0, count.EngineFPT); err != nil || c.Sign() != 1 {
+		t.Fatalf("0-cliques = %v, %v", c, err)
+	}
+	if ok, err := HasCliqueViaQuery(g, 0, count.EngineFPT); err != nil || !ok {
+		t.Fatalf("0-clique existence = %v, %v", ok, err)
+	}
+}
+
+func TestStructureToGraphRoundTrip(t *testing.T) {
+	g := workload.ER(7, 0.4, 9)
+	b := workload.GraphStructure(g)
+	g2, err := StructureToGraph(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed graph: %d/%d vs %d/%d",
+			g2.N(), g2.NumEdges(), g.N(), g.NumEdges())
+	}
+	for v := 0; v < g.N(); v++ {
+		for u := 0; u < g.N(); u++ {
+			if g.HasEdge(u, v) != g2.HasEdge(u, v) {
+				t.Fatalf("edge {%d,%d} mismatch", u, v)
+			}
+		}
+	}
+}

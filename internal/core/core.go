@@ -1,0 +1,225 @@
+// Package core ties the paper's machinery into the production counting
+// pipeline — the primary contribution of Chen & Mengel (PODS 2016) made
+// executable.  A Counter compiles an ep-query once through the
+// Theorem 3.1 front-end (normalization, inclusion–exclusion with
+// cancellation, sentence-disjunct filtering) and then counts answers on
+// any number of structures via the pp-formulas of φ⁺, each counted with
+// the Theorem 2.11 FPT algorithm (or a chosen fallback engine).  It also
+// exposes the trichotomy classification of the compiled query
+// (Theorem 3.2).
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+	"sync"
+
+	"repro/internal/classify"
+	"repro/internal/count"
+	"repro/internal/eptrans"
+	"repro/internal/logic"
+	"repro/internal/pp"
+	"repro/internal/structure"
+)
+
+// Counter is a compiled ep-query ready for repeated counting.
+type Counter struct {
+	Compiled *eptrans.Compiled
+	Engine   count.PPEngine
+
+	// plans holds a precompiled Theorem 2.11 counting plan per φ⁻af term
+	// (keyed by the term's structure identity) when the engine is from
+	// the FPT family; the formula-dependent work — cores, ∃-components,
+	// tree decompositions — is then paid once at construction.
+	plans map[*structure.Structure]*count.Plan
+}
+
+// NewCounter compiles the query over the signature.  Passing a nil
+// signature infers it from the query's atoms.
+func NewCounter(q logic.Query, sig *structure.Signature, engine count.PPEngine) (*Counter, error) {
+	if sig == nil {
+		var err error
+		sig, err = eptrans.InferStructSignature(q)
+		if err != nil {
+			return nil, err
+		}
+	}
+	c, err := eptrans.Compile(q, sig)
+	if err != nil {
+		return nil, err
+	}
+	counter := &Counter{Compiled: c, Engine: engine}
+	if engine == count.EngineFPT || engine == count.EngineAuto || engine == count.EngineFPTNoCore {
+		counter.plans = make(map[*structure.Structure]*count.Plan, len(c.Minus))
+		for _, term := range c.Minus {
+			// φ⁻af terms come out of the inclusion–exclusion merge already
+			// cored, so the plan skips the core step.
+			plan, err := count.NewPlan(term.Formula, false)
+			if err != nil {
+				return nil, err
+			}
+			counter.plans[term.Formula.A] = plan
+		}
+	}
+	return counter, nil
+}
+
+// Count returns |φ(B)|: the number of assignments of the liberal
+// variables satisfying the query on b.  This is the paper's pipeline:
+// sentence disjuncts short-circuit to |B|^|lib|; otherwise the signed sum
+// over φ⁻af is evaluated with the configured pp engine.
+func (c *Counter) Count(b *structure.Structure) (*big.Int, error) {
+	if !c.Compiled.Sig.Equal(b.Signature()) {
+		return nil, fmt.Errorf("core: query signature %v differs from structure signature %v",
+			c.Compiled.Sig, b.Signature())
+	}
+	return eptrans.CountEPViaPP(c.Compiled, b, c.ppCounter())
+}
+
+// CountParallel is Count with the φ⁻af terms evaluated concurrently (one
+// goroutine per term).  Structures are safe for concurrent read-only use,
+// and the signed sum is order-independent, so the result is identical to
+// Count.  Worth it when φ⁻af has several expensive terms.
+func (c *Counter) CountParallel(b *structure.Structure) (*big.Int, error) {
+	if !c.Compiled.Sig.Equal(b.Signature()) {
+		return nil, fmt.Errorf("core: query signature %v differs from structure signature %v",
+			c.Compiled.Sig, b.Signature())
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	for _, th := range c.Compiled.Sentences {
+		if eptrans.SentenceHolds(th, b) {
+			return c.Compiled.MaxCount(b), nil
+		}
+	}
+	counter := c.ppCounter()
+	type result struct {
+		val *big.Int
+		err error
+	}
+	results := make([]result, len(c.Compiled.Minus))
+	var wg sync.WaitGroup
+	for i, term := range c.Compiled.Minus {
+		wg.Add(1)
+		go func(i int, f pp.PP) {
+			defer wg.Done()
+			v, err := counter(f, b)
+			results[i] = result{val: v, err: err}
+		}(i, term.Formula)
+	}
+	wg.Wait()
+	total := new(big.Int)
+	for i, term := range c.Compiled.Minus {
+		if results[i].err != nil {
+			return nil, results[i].err
+		}
+		total.Add(total, new(big.Int).Mul(term.Coeff, results[i].val))
+	}
+	return total, nil
+}
+
+func (c *Counter) ppCounter() eptrans.PPCounter {
+	engine := c.Engine
+	return func(p pp.PP, b *structure.Structure) (*big.Int, error) {
+		if plan, ok := c.plans[p.A]; ok {
+			return plan.Count(b)
+		}
+		return count.PP(p, b, engine)
+	}
+}
+
+// CountDirect evaluates the query by brute-force enumeration of liberal
+// assignments: the reference semantics (exponential; for validation).
+func (c *Counter) CountDirect(b *structure.Structure) (*big.Int, error) {
+	return count.EPDirect(c.Compiled.Query, b)
+}
+
+// CountPP counts one member of φ⁺ directly with the configured engine.
+func (c *Counter) CountPP(p pp.PP, b *structure.Structure) (*big.Int, error) {
+	return count.PP(p, b, c.Engine)
+}
+
+// CountPPViaOracle counts a member of φ⁺ using only oracle access to the
+// full ep-query — the backward slice reduction of Theorem 3.1, exposed so
+// applications (and the E8 experiment) can exercise the interreduction.
+func (c *Counter) CountPPViaOracle(p pp.PP, b *structure.Structure) (*big.Int, error) {
+	oracle := func(y *structure.Structure) (*big.Int, error) {
+		return eptrans.CountEPViaPP(c.Compiled, y, c.ppCounter())
+	}
+	return eptrans.CountPPViaEP(c.Compiled, p, b, oracle)
+}
+
+// Answers enumerates the answer set φ(B) (deduplicated assignments of
+// the liberal variables, as element names aligned with the query head).
+// fn returning false stops early; limit ≤ 0 means unlimited.  Returns the
+// number of answers delivered.
+func (c *Counter) Answers(b *structure.Structure, limit int, fn func(count.Answer) bool) (int, error) {
+	if !c.Compiled.Sig.Equal(b.Signature()) {
+		return 0, fmt.Errorf("core: query signature %v differs from structure signature %v",
+			c.Compiled.Sig, b.Signature())
+	}
+	return count.EnumerateAnswers(c.Compiled.Sig, c.Compiled.Query.Lib, c.Compiled.Disjuncts, b, limit, fn)
+}
+
+// Classify returns the trichotomy verdict of the compiled query's φ⁺
+// relative to the supplied width bounds.
+func (c *Counter) Classify(wCore, wContract int) (classify.Verdict, error) {
+	return classify.ClassifyPPSet(c.Compiled.Plus, wCore, wContract)
+}
+
+// Explain renders a human-readable account of the compiled pipeline:
+// the normalized disjuncts, φ*af with coefficients, φ⁻af and φ⁺, and the
+// per-formula structural parameters.
+func (c *Counter) Explain() string {
+	var b strings.Builder
+	cp := c.Compiled
+	fmt.Fprintf(&b, "query: %s\n", cp.Query)
+	fmt.Fprintf(&b, "signature: %s\n", cp.Sig)
+	fmt.Fprintf(&b, "normalized disjuncts: %d (%d free, %d sentence)\n",
+		len(cp.Disjuncts), len(cp.Free), len(cp.Sentences))
+	for i, d := range cp.Disjuncts {
+		kind := "free"
+		if d.IsSentence() {
+			kind = "sentence"
+		}
+		fmt.Fprintf(&b, "  ψ%d (%s): %s\n", i+1, kind, d)
+	}
+	fmt.Fprintf(&b, "φ*af terms (after cancellation): %d\n", len(cp.Star))
+	for _, t := range cp.Star {
+		fmt.Fprintf(&b, "  %+d × %s\n", t.Coeff, t.Formula)
+	}
+	fmt.Fprintf(&b, "φ⁻af terms (surviving sentence-entailment filter): %d\n", len(cp.Minus))
+	fmt.Fprintf(&b, "φ⁺ size: %d\n", len(cp.Plus))
+	if v, err := c.Classify(1, 1); err == nil {
+		fmt.Fprintf(&b, "classification vs bounds (1,1): %s\n", v)
+		for i, r := range v.Reports {
+			fmt.Fprintf(&b, "  φ⁺[%d]: core tw %d, contract tw %d, ∃-components %d (max interface %d)\n",
+				i, r.CoreTreewidth, r.ContractTreewidth, r.NumExistsComponents, r.MaxInterface)
+		}
+	}
+	return b.String()
+}
+
+// CountWithAllEngines runs the projection and FPT engines and checks they
+// agree; returns the common count.  Used by validation tooling and tests.
+func (c *Counter) CountWithAllEngines(b *structure.Structure) (*big.Int, error) {
+	engines := []count.PPEngine{count.EngineProjection, count.EngineFPT}
+	var result *big.Int
+	for _, e := range engines {
+		engine := e
+		v, err := eptrans.CountEPViaPP(c.Compiled, b, func(p pp.PP, s *structure.Structure) (*big.Int, error) {
+			return count.PP(p, s, engine)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: engine %v: %w", e, err)
+		}
+		if result == nil {
+			result = v
+		} else if result.Cmp(v) != 0 {
+			return nil, fmt.Errorf("core: engines disagree: %v vs %v", result, v)
+		}
+	}
+	return result, nil
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/count"
+	"repro/internal/parser"
+	"repro/internal/workload"
+)
+
+func TestCounterMatchesDirect(t *testing.T) {
+	queries := []string{
+		"phi(w,x,y,z) := E(x,y) & (E(w,x) | E(y,z) & E(z,z))",
+		"q(x,y) := E(x,y) | exists u. E(u,u)",
+		"q(s,t) := exists u. E(s,u) & E(u,t)",
+	}
+	for _, src := range queries {
+		q := parser.MustQuery(src)
+		c, err := NewCounter(q, nil, count.EngineFPT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(0); seed < 5; seed++ {
+			b := workload.RandomStructure(c.Compiled.Sig, 3, 0.4, seed)
+			want, err := c.CountDirect(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Count(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Cmp(want) != 0 {
+				t.Fatalf("%s seed %d: %v != %v", src, seed, got, want)
+			}
+		}
+	}
+}
+
+func TestCounterSignatureMismatch(t *testing.T) {
+	q := parser.MustQuery("q(x) := F(x)")
+	c, err := NewCounter(q, nil, count.EngineFPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := workload.RandomStructure(workload.EdgeSig(), 3, 0.5, 1)
+	if _, err := c.Count(b); err == nil {
+		t.Fatal("signature mismatch should error")
+	}
+}
+
+func TestCountWithAllEngines(t *testing.T) {
+	q := parser.MustQuery("q(x,y) := E(x,y) | E(y,x)")
+	c, err := NewCounter(q, nil, count.EngineFPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := workload.RandomStructure(workload.EdgeSig(), 4, 0.4, 3)
+	v, err := c.CountWithAllEngines(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := c.CountDirect(b)
+	if v.Cmp(want) != 0 {
+		t.Fatalf("all-engines count %v != direct %v", v, want)
+	}
+}
+
+func TestCounterClassify(t *testing.T) {
+	c, err := NewCounter(workload.PathQuery(3), nil, count.EngineFPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Classify(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Case != classify.CaseFPT {
+		t.Fatalf("path query should be FPT, got %v", v.Case)
+	}
+}
+
+func TestCounterOracleRoundTrip(t *testing.T) {
+	q := parser.MustQuery("q(x,y) := E(x,y) | E(y,x)")
+	c, err := NewCounter(q, nil, count.EngineFPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := workload.RandomStructure(workload.EdgeSig(), 3, 0.5, 5)
+	for _, p := range c.Compiled.Plus {
+		direct, err := c.CountPP(p, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaOracle, err := c.CountPPViaOracle(p, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct.Cmp(viaOracle) != 0 {
+			t.Fatalf("oracle path %v != direct %v", viaOracle, direct)
+		}
+	}
+}
+
+func TestExplainMentionsPipeline(t *testing.T) {
+	q := parser.MustQuery(`th(w,x,y,z) := E(x,y) & E(y,z)
+		| E(z,w) & E(w,x)
+		| E(w,x) & E(x,y)
+		| exists a,b,c,d. E(a,b) & E(b,c) & E(c,d)`)
+	c, err := NewCounter(q, nil, count.EngineFPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Explain()
+	for _, want := range []string{"normalized disjuncts: 4", "φ*af", "φ⁺ size: 2", "classification"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Explain missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSentenceShortCircuit(t *testing.T) {
+	// When a sentence disjunct holds, the count is |B|^|lib| regardless of
+	// the free disjuncts.
+	q := parser.MustQuery("q(x,y) := E(x,y) & E(y,x) | exists u. E(u,u)")
+	c, err := NewCounter(q, nil, count.EngineFPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := parser.MustStructure("E(1,1). E(1,2). E(2,3).", workload.EdgeSig())
+	got, err := c.Count(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewInt(9)) != 0 {
+		t.Fatalf("count = %v, want 9 = |B|²", got)
+	}
+}
+
+func TestCountParallelMatchesSerial(t *testing.T) {
+	q := parser.MustQuery("q(w,x,y,z) := E(x,y) & E(y,z) | E(z,w) & E(w,x) | E(w,x) & E(x,y)")
+	c, err := NewCounter(q, nil, count.EngineFPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		b := workload.RandomStructure(workload.EdgeSig(), 4, 0.4, seed)
+		serial, err := c.Count(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := c.CountParallel(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.Cmp(parallel) != 0 {
+			t.Fatalf("seed %d: serial %v != parallel %v", seed, serial, parallel)
+		}
+	}
+	// Sentence short-circuit in the parallel path.
+	q2 := parser.MustQuery("q(x) := E(x,x) & E(x,x) | exists u, v. E(u,v) & E(v,u)")
+	c2, err := NewCounter(q2, nil, count.EngineFPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := parser.MustStructure("E(1,2). E(2,1). E(2,3).", workload.EdgeSig())
+	p2, err := c2.CountParallel(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c2.CountDirect(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Cmp(want) != 0 {
+		t.Fatalf("parallel sentence path %v != direct %v", p2, want)
+	}
+}
+
+func TestAnswersThroughCounter(t *testing.T) {
+	q := parser.MustQuery("q(x,y) := E(x,y) | E(y,x)")
+	c, err := NewCounter(q, nil, count.EngineFPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := parser.MustStructure("E(a,b).", workload.EdgeSig())
+	var got []count.Answer
+	n, err := c.Answers(b, 0, func(a count.Answer) bool {
+		got = append(got, append(count.Answer(nil), a...))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || len(got) != 2 {
+		t.Fatalf("answers = %d (%v), want 2", n, got)
+	}
+	count.SortAnswers(got)
+	if got[0][0] != "a" || got[0][1] != "b" || got[1][0] != "b" || got[1][1] != "a" {
+		t.Fatalf("answers = %v", got)
+	}
+}

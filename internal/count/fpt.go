@@ -1,0 +1,244 @@
+package count
+
+import (
+	"math/big"
+	"sort"
+
+	"repro/internal/hom"
+	"repro/internal/pp"
+	"repro/internal/structure"
+)
+
+// ppFPT implements the counting algorithm behind Theorem 2.11 by
+// compiling a Plan (core, ∃-component predicate schemes, contract-graph
+// tree decomposition) and executing it; see plan.go.  One-shot callers
+// pay the compilation each time; Counter-style callers should hold a
+// Plan.
+func ppFPT(p pp.PP, b *structure.Structure, useCore bool) (*big.Int, error) {
+	plan, err := NewPlan(p, useCore)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Count(b)
+}
+
+// relTable is a materialized constraint: the set of allowed assignments
+// over scope (variable positions).
+type relTable struct {
+	scope  []int // sorted, distinct
+	tuples [][]int
+	member map[string]bool
+}
+
+func encodeVals(vals []int) string {
+	buf := make([]byte, 0, 4*len(vals))
+	for _, v := range vals {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(buf)
+}
+
+func decodeVals(key string, n int) []int {
+	vals := make([]int, n)
+	for i := 0; i < n; i++ {
+		o := 4 * i
+		vals[i] = int(key[o]) | int(key[o+1])<<8 | int(key[o+2])<<16 | int(key[o+3])<<24
+	}
+	return vals
+}
+
+// joinCountPlan runs the join-count dynamic program over the compiled
+// decomposition: node tables map bag assignments to the number of
+// extensions over the subtree's variables; children merge by grouping on
+// shared bag variables; bag assignments are enumerated by joining the
+// local constraint tables smallest-first and free-enumerating locally
+// unconstrained bag variables.
+func joinCountPlan(pc *planComponent, tables []relTable, domSize int) (*big.Int, error) {
+	dec := pc.dec
+	type nodeTable struct {
+		vars    []int
+		entries map[string]*big.Int
+	}
+	memo := make([]*nodeTable, len(dec.Bags))
+
+	var process func(ni int) *nodeTable
+	process = func(ni int) *nodeTable {
+		if memo[ni] != nil {
+			return memo[ni]
+		}
+		bag := dec.Bags[ni]
+		nt := &nodeTable{vars: bag, entries: map[string]*big.Int{}}
+
+		type childGroup struct {
+			shared []int // indices into bag
+			sums   map[string]*big.Int
+		}
+		var groups []childGroup
+		for _, c := range pc.children[ni] {
+			ct := process(c)
+			sharedBagIdx, sharedChildIdx := sharedPositions(bag, ct.vars)
+			g := childGroup{shared: sharedBagIdx, sums: map[string]*big.Int{}}
+			proj := make([]int, len(sharedChildIdx))
+			for key, cnt := range ct.entries {
+				vals := decodeVals(key, len(ct.vars))
+				for i, ci := range sharedChildIdx {
+					proj[i] = vals[ci]
+				}
+				pk := encodeVals(proj)
+				if s, ok := g.sums[pk]; ok {
+					s.Add(s, cnt)
+				} else {
+					g.sums[pk] = new(big.Int).Set(cnt)
+				}
+			}
+			groups = append(groups, g)
+		}
+
+		cons := append([]int(nil), pc.consAt[ni]...)
+		sort.Slice(cons, func(i, j int) bool {
+			return len(tables[cons[i]].tuples) < len(tables[cons[j]].tuples)
+		})
+		bagPos := make(map[int]int, len(bag))
+		for i, v := range bag {
+			bagPos[v] = i
+		}
+		assign := make([]int, len(bag))
+		assigned := make([]bool, len(bag))
+
+		emit := func() {
+			weight := big.NewInt(1)
+			proj := []int{}
+			for _, g := range groups {
+				proj = proj[:0]
+				for _, bi := range g.shared {
+					proj = append(proj, assign[bi])
+				}
+				s, ok := g.sums[encodeVals(proj)]
+				if !ok {
+					return
+				}
+				weight.Mul(weight, s)
+			}
+			key := encodeVals(assign)
+			if e, ok := nt.entries[key]; ok {
+				e.Add(e, weight)
+			} else {
+				nt.entries[key] = weight
+			}
+		}
+
+		var rec func(ci int)
+		rec = func(ci int) {
+			if ci == len(cons) {
+				var freeIdx []int
+				for i := range bag {
+					if !assigned[i] {
+						freeIdx = append(freeIdx, i)
+					}
+				}
+				var fill func(k int)
+				fill = func(k int) {
+					if k == len(freeIdx) {
+						emit()
+						return
+					}
+					for v := 0; v < domSize; v++ {
+						assign[freeIdx[k]] = v
+						assigned[freeIdx[k]] = true
+						fill(k + 1)
+					}
+					assigned[freeIdx[k]] = false
+				}
+				fill(0)
+				return
+			}
+			t := tables[cons[ci]]
+		tupleLoop:
+			for _, tup := range t.tuples {
+				var bound []int
+				for j, s := range t.scope {
+					bi := bagPos[s]
+					if assigned[bi] {
+						if assign[bi] != tup[j] {
+							for _, u := range bound {
+								assigned[u] = false
+							}
+							continue tupleLoop
+						}
+					} else {
+						assign[bi] = tup[j]
+						assigned[bi] = true
+						bound = append(bound, bi)
+					}
+				}
+				rec(ci + 1)
+				for _, u := range bound {
+					assigned[u] = false
+				}
+			}
+		}
+		rec(0)
+		memo[ni] = nt
+		return nt
+	}
+
+	rt := process(pc.root)
+	total := new(big.Int)
+	for _, cnt := range rt.entries {
+		total.Add(total, cnt)
+	}
+	return total, nil
+}
+
+func containsAll(set, subset []int) bool {
+	m := make(map[int]bool, len(set))
+	for _, v := range set {
+		m[v] = true
+	}
+	for _, v := range subset {
+		if !m[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// sharedPositions returns, for the variables common to bag and childVars,
+// their indices in each.
+func sharedPositions(bag, childVars []int) (bagIdx, childIdx []int) {
+	pos := make(map[int]int, len(bag))
+	for i, v := range bag {
+		pos[v] = i
+	}
+	for j, v := range childVars {
+		if i, ok := pos[v]; ok {
+			bagIdx = append(bagIdx, i)
+			childIdx = append(childIdx, j)
+		}
+	}
+	return
+}
+
+// EPUnion counts an ep-formula by enumerating, per prenex pp disjunct, the
+// extendable liberal assignments and collecting them in a set — a direct
+// implementation of |φ(B)| = |⋃ψ ψ(B)| that serves as a mid-size reference
+// engine for the inclusion–exclusion path.
+func EPUnion(disjuncts []pp.PP, b *structure.Structure) (*big.Int, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	for _, d := range disjuncts {
+		if len(d.S) == 0 {
+			if hom.Exists(d.A, b, hom.Options{}) {
+				return big.NewInt(1), nil
+			}
+			continue
+		}
+		hom.ForEachExtendable(d.A, b, d.S, hom.Options{}, func(vals []int) bool {
+			seen[encodeVals(vals)] = true
+			return true
+		})
+	}
+	return big.NewInt(int64(len(seen))), nil
+}

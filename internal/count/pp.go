@@ -1,0 +1,124 @@
+package count
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/hom"
+	"repro/internal/pp"
+	"repro/internal/structure"
+)
+
+// PPEngine selects an algorithm for counting pp-formula answers.
+type PPEngine int
+
+const (
+	// EngineAuto uses the FPT engine.
+	EngineAuto PPEngine = iota
+	// EngineBrute enumerates all |B|^|S| liberal assignments and tests
+	// each for extendability: the reference semantics.
+	EngineBrute
+	// EngineProjection factorizes over components and enumerates the
+	// extendable liberal assignments by backtracking with propagation.
+	EngineProjection
+	// EngineFPT runs the Theorem 2.11 pipeline: core, ∃-component
+	// predicates, join-count DP over a contract-graph tree decomposition.
+	EngineFPT
+	// EngineFPTNoCore is EngineFPT without the core step (ablation A1).
+	EngineFPTNoCore
+)
+
+func (e PPEngine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineBrute:
+		return "brute"
+	case EngineProjection:
+		return "projection"
+	case EngineFPT:
+		return "fpt"
+	case EngineFPTNoCore:
+		return "fpt-nocore"
+	}
+	return "unknown"
+}
+
+// PP counts |φ(B)| for a pp-formula with the selected engine.
+func PP(p pp.PP, b *structure.Structure, engine PPEngine) (*big.Int, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if !p.A.Signature().Equal(b.Signature()) {
+		return nil, fmt.Errorf("count: formula signature %v differs from structure signature %v",
+			p.A.Signature(), b.Signature())
+	}
+	switch engine {
+	case EngineBrute:
+		return ppBrute(p, b), nil
+	case EngineProjection:
+		return ppProjection(p, b), nil
+	case EngineFPT, EngineAuto:
+		return ppFPT(p, b, true)
+	case EngineFPTNoCore:
+		return ppFPT(p, b, false)
+	default:
+		return nil, fmt.Errorf("count: unknown engine %d", engine)
+	}
+}
+
+// ppBrute enumerates every f : S → B and checks extendability.
+func ppBrute(p pp.PP, b *structure.Structure) *big.Int {
+	n := b.Size()
+	total := new(big.Int)
+	one := big.NewInt(1)
+	pin := make(map[int]int, len(p.S))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(p.S) {
+			cp := make(map[int]int, len(pin))
+			for k, v := range pin {
+				cp[k] = v
+			}
+			if hom.Exists(p.A, b, hom.Options{Pin: cp}) {
+				total.Add(total, one)
+			}
+			return
+		}
+		for e := 0; e < n; e++ {
+			pin[p.S[i]] = e
+			rec(i + 1)
+		}
+		delete(pin, p.S[i])
+	}
+	rec(0)
+	return total
+}
+
+// ppProjection counts per component (|φ(B)| = ∏|φᵢ(B)|, Section 2.1) and
+// enumerates extendable liberal assignments with the propagating solver.
+func ppProjection(p pp.PP, b *structure.Structure) *big.Int {
+	total := big.NewInt(1)
+	for _, comp := range p.Components() {
+		factor := new(big.Int)
+		if len(comp.S) == 0 {
+			if hom.Exists(comp.A, b, hom.Options{}) {
+				factor.SetInt64(1)
+			}
+		} else if comp.A.NumTuples() == 0 {
+			// Isolated liberal variables: every assignment works.
+			factor = structure.PowerSize(b, len(comp.S))
+		} else {
+			one := big.NewInt(1)
+			hom.ForEachExtendable(comp.A, b, comp.S, hom.Options{}, func([]int) bool {
+				factor.Add(factor, one)
+				return true
+			})
+		}
+		if factor.Sign() == 0 {
+			return new(big.Int)
+		}
+		total.Mul(total, factor)
+	}
+	return total
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPassQuick runs the whole suite in quick mode: every
+// experiment must complete and self-validate.  This is the repository's
+// top-level "does the reproduction reproduce" check.
+func TestAllExperimentsPassQuick(t *testing.T) {
+	cfg := Config{Quick: true}
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.ID, func(t *testing.T) {
+			tbl, err := spec.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s failed: %v", spec.ID, err)
+			}
+			if !tbl.OK {
+				t.Fatalf("%s validation failed:\n%s", spec.ID, tbl.Render())
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s produced no rows", spec.ID)
+			}
+		})
+	}
+}
+
+func TestGetSpec(t *testing.T) {
+	if _, err := Get("E3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Get("e3"); err != nil {
+		t.Fatal("Get should be case-insensitive")
+	}
+	if _, err := Get("E99"); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		ID:      "T",
+		Title:   "demo",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"a note"},
+		OK:      true,
+	}
+	s := tbl.Render()
+	for _, want := range []string{"== T: demo ==", "long-column", "333", "note: a note", "PASS"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("render missing %q:\n%s", want, s)
+		}
+	}
+}

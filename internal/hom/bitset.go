@@ -1,0 +1,81 @@
+package hom
+
+import "math/bits"
+
+// bitset is a fixed-capacity set of small non-negative integers.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func fullBitset(n int) bitset {
+	b := newBitset(n)
+	for i := 0; i < n; i++ {
+		b.set(i)
+	}
+	return b
+}
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << (i % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// intersect replaces b with b ∩ o and reports whether b changed.
+func (b bitset) intersect(o bitset) bool {
+	changed := false
+	for i := range b {
+		nw := b[i] & o[i]
+		if nw != b[i] {
+			changed = true
+			b[i] = nw
+		}
+	}
+	return changed
+}
+
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// first returns the smallest member, or -1 if empty.
+func (b bitset) first() int {
+	for i, w := range b {
+		if w != 0 {
+			return i*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// forEach calls fn on each member in increasing order; fn returning false
+// stops the iteration early and forEach returns false.
+func (b bitset) forEach(fn func(int) bool) bool {
+	for i, w := range b {
+		for w != 0 {
+			j := bits.TrailingZeros64(w)
+			w &^= 1 << j
+			if !fn(i*64 + j) {
+				return false
+			}
+		}
+	}
+	return true
+}

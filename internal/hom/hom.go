@@ -1,0 +1,394 @@
+// Package hom decides and enumerates homomorphisms between finite
+// relational structures.  A homomorphism h : A → B maps elements of A to
+// elements of B so that every tuple of every relation of A is carried to a
+// tuple of B (Section 2.1).  The engine is a constraint solver: variables
+// are A's elements, domains are subsets of B's elements, the constraints
+// are A's tuples; it supports pinned partial maps, restricted domains,
+// injectivity groups (for the bijection searches of Theorem 5.4), and
+// enumeration of the assignments of a projection set that extend to a
+// homomorphism (the counting semantics of pp-formulas).
+package hom
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"repro/internal/structure"
+)
+
+// Options configures a homomorphism search.
+type Options struct {
+	// Pin forces specific A-element → B-element mappings.
+	Pin map[int]int
+	// Restrict limits the domain of an A-element to the given B-elements.
+	Restrict map[int][]int
+	// AllDiff lists A-elements that must be mapped injectively (used for
+	// the surjection/bijection checks of renaming equivalence).
+	AllDiff []int
+}
+
+type constraint struct {
+	rel  string
+	vars []int // A-element per position
+}
+
+type solver struct {
+	A, B    *structure.Structure
+	nA, nB  int
+	cons    []constraint
+	consOf  [][]int // A-element -> indices into cons
+	allDiff []bool  // A-element -> participates in the alldiff group
+	hasAD   bool
+	initDom []bitset
+	initErr error
+}
+
+func newSolver(A, B *structure.Structure, opts Options) *solver {
+	s := &solver{A: A, B: B, nA: A.Size(), nB: B.Size()}
+	s.consOf = make([][]int, s.nA)
+	for _, r := range A.Signature().Rels() {
+		for _, t := range A.Tuples(r.Name) {
+			ci := len(s.cons)
+			s.cons = append(s.cons, constraint{rel: r.Name, vars: t})
+			seen := map[int]bool{}
+			for _, v := range t {
+				if !seen[v] {
+					seen[v] = true
+					s.consOf[v] = append(s.consOf[v], ci)
+				}
+			}
+		}
+	}
+	s.allDiff = make([]bool, s.nA)
+	for _, v := range opts.AllDiff {
+		s.allDiff[v] = true
+		s.hasAD = true
+	}
+	// Initial domains.
+	dom := make([]bitset, s.nA)
+	for v := 0; v < s.nA; v++ {
+		dom[v] = fullBitset(s.nB)
+	}
+	for v, allowed := range opts.Restrict {
+		nb := newBitset(s.nB)
+		for _, b := range allowed {
+			if b >= 0 && b < s.nB {
+				nb.set(b)
+			}
+		}
+		dom[v] = nb
+	}
+	for v, b := range opts.Pin {
+		if b < 0 || b >= s.nB || !dom[v].has(b) {
+			s.initErr = fmt.Errorf("hom: pin %d→%d outside domain", v, b)
+			return s
+		}
+		nb := newBitset(s.nB)
+		nb.set(b)
+		dom[v] = nb
+	}
+	s.initDom = dom
+	return s
+}
+
+// propagate runs generalized arc consistency to a fixpoint on dom,
+// starting from the given constraint queue (nil = all constraints).
+// It returns false if some domain became empty.
+func (s *solver) propagate(dom []bitset, queue []int) bool {
+	inQueue := make([]bool, len(s.cons))
+	if queue == nil {
+		queue = make([]int, len(s.cons))
+		for i := range queue {
+			queue[i] = i
+		}
+	}
+	for _, ci := range queue {
+		inQueue[ci] = true
+	}
+	for len(queue) > 0 {
+		ci := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		inQueue[ci] = false
+		c := s.cons[ci]
+		ar := len(c.vars)
+		support := make([]bitset, ar)
+		for p := range support {
+			support[p] = newBitset(s.nB)
+		}
+		// Pick candidate B-tuples: if some position's domain is a
+		// singleton, use the positional index to cut the scan.
+		var cand [][]int
+		bestPos, bestCnt := -1, 1<<30
+		for p, v := range c.vars {
+			if cnt := dom[v].count(); cnt < bestCnt {
+				bestPos, bestCnt = p, cnt
+			}
+		}
+		if bestCnt == 0 {
+			return false
+		}
+		if bestCnt == 1 {
+			cand = s.B.TuplesWith(c.rel, bestPos, dom[c.vars[bestPos]].first())
+		} else {
+			cand = s.B.Tuples(c.rel)
+		}
+	tuples:
+		for _, u := range cand {
+			for p, v := range c.vars {
+				if !dom[v].has(u[p]) {
+					continue tuples
+				}
+				// Repeated variables must agree.
+				for q := p + 1; q < ar; q++ {
+					if c.vars[q] == v && u[q] != u[p] {
+						continue tuples
+					}
+				}
+			}
+			for p := range c.vars {
+				support[p].set(u[p])
+			}
+		}
+		for p, v := range c.vars {
+			if dom[v].intersect(support[p]) {
+				if dom[v].empty() {
+					return false
+				}
+				for _, cj := range s.consOf[v] {
+					if cj != ci && !inQueue[cj] {
+						inQueue[cj] = true
+						queue = append(queue, cj)
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// propagateAllDiff removes value b from the domains of other alldiff
+// members once some alldiff member's domain is the singleton {b}.
+// Returns false on wipeout.  (Weak alldiff propagation; sound.)
+func (s *solver) propagateAllDiff(dom []bitset) bool {
+	if !s.hasAD {
+		return true
+	}
+	changed := true
+	for changed {
+		changed = false
+		for v := 0; v < s.nA; v++ {
+			if !s.allDiff[v] || dom[v].count() != 1 {
+				continue
+			}
+			b := dom[v].first()
+			for u := 0; u < s.nA; u++ {
+				if u == v || !s.allDiff[u] {
+					continue
+				}
+				if dom[u].has(b) {
+					dom[u].clear(b)
+					changed = true
+					if dom[u].empty() {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// search runs backtracking search over the variables in varOrder (others
+// are still propagated but only need non-empty domains if decided=false…
+// varOrder must cover all of A's elements for a full homomorphism).
+// onSolution is invoked with the value of each variable; returning false
+// stops the search.  Returns true if the search was stopped early.
+func (s *solver) search(dom []bitset, onSolution func(assign []int) bool) bool {
+	assign := make([]int, s.nA)
+	var rec func(dom []bitset) bool
+	rec = func(dom []bitset) bool {
+		// MRV: pick unfixed variable with smallest domain > 1.
+		pick, pickCnt := -1, 1<<30
+		for v := 0; v < s.nA; v++ {
+			c := dom[v].count()
+			if c == 0 {
+				return true
+			}
+			if c > 1 && c < pickCnt {
+				pick, pickCnt = v, c
+			}
+		}
+		if pick == -1 {
+			for v := 0; v < s.nA; v++ {
+				assign[v] = dom[v].first()
+			}
+			// GAC can fix variables without passing through the alldiff
+			// propagator, so re-verify injectivity at the leaf.
+			if s.hasAD {
+				seen := make(map[int]bool)
+				for v := 0; v < s.nA; v++ {
+					if s.allDiff[v] {
+						if seen[assign[v]] {
+							return true
+						}
+						seen[assign[v]] = true
+					}
+				}
+			}
+			return onSolution(assign)
+		}
+		cont := true
+		dom[pick].forEach(func(b int) bool {
+			nd := make([]bitset, s.nA)
+			for v := range nd {
+				nd[v] = dom[v].clone()
+			}
+			sb := newBitset(s.nB)
+			sb.set(b)
+			nd[pick] = sb
+			if !s.propagateAllDiff(nd) {
+				return true
+			}
+			if !s.propagate(nd, append([]int(nil), s.consOf[pick]...)) {
+				return true
+			}
+			cont = rec(nd)
+			return cont
+		})
+		return cont
+	}
+	return !rec(dom)
+}
+
+func (s *solver) initialDomains() ([]bitset, bool) {
+	if s.initErr != nil {
+		return nil, false
+	}
+	dom := make([]bitset, s.nA)
+	for v := range dom {
+		dom[v] = s.initDom[v].clone()
+	}
+	if !s.propagateAllDiff(dom) {
+		return nil, false
+	}
+	if !s.propagate(dom, nil) {
+		return nil, false
+	}
+	return dom, true
+}
+
+// Find searches for a homomorphism from A to B subject to opts and returns
+// the full assignment (A-element index → B-element index) if one exists.
+func Find(A, B *structure.Structure, opts Options) ([]int, bool) {
+	s := newSolver(A, B, opts)
+	dom, ok := s.initialDomains()
+	if !ok {
+		return nil, false
+	}
+	var sol []int
+	stopped := s.search(dom, func(assign []int) bool {
+		sol = append([]int(nil), assign...)
+		return false
+	})
+	_ = stopped
+	return sol, sol != nil
+}
+
+// Exists reports whether a homomorphism from A to B subject to opts exists.
+func Exists(A, B *structure.Structure, opts Options) bool {
+	_, ok := Find(A, B, opts)
+	return ok
+}
+
+// Count returns the number of homomorphisms from A to B subject to opts.
+// Enumeration-based: intended for small instances and tests.
+func Count(A, B *structure.Structure, opts Options) *big.Int {
+	s := newSolver(A, B, opts)
+	total := new(big.Int)
+	dom, ok := s.initialDomains()
+	if !ok {
+		return total
+	}
+	one := big.NewInt(1)
+	s.search(dom, func([]int) bool {
+		total.Add(total, one)
+		return true
+	})
+	return total
+}
+
+// ForEachExtendable enumerates, in lexicographic order of the projection
+// variables, every assignment g of proj (A-element indices) such that g
+// extends to a full homomorphism A → B under opts.  fn receives the values
+// aligned with proj; returning false stops the enumeration.  Each distinct
+// g is reported exactly once: this is exactly the answer-set semantics
+// φ(B) for the pp-formula (A, proj).
+func ForEachExtendable(A, B *structure.Structure, proj []int, opts Options, fn func(vals []int) bool) {
+	s := newSolver(A, B, opts)
+	dom, ok := s.initialDomains()
+	if !ok {
+		return
+	}
+	vals := make([]int, len(proj))
+	var rec func(i int, dom []bitset) bool
+	rec = func(i int, dom []bitset) bool {
+		if i == len(proj) {
+			// All projection variables fixed; check a completion exists.
+			found := false
+			s.search(dom, func([]int) bool {
+				found = true
+				return false
+			})
+			if !found {
+				return true
+			}
+			return fn(vals)
+		}
+		v := proj[i]
+		cont := true
+		dom[v].forEach(func(b int) bool {
+			nd := make([]bitset, s.nA)
+			for u := range nd {
+				nd[u] = dom[u].clone()
+			}
+			sb := newBitset(s.nB)
+			sb.set(b)
+			nd[v] = sb
+			if !s.propagateAllDiff(nd) {
+				return true
+			}
+			if !s.propagate(nd, append([]int(nil), s.consOf[v]...)) {
+				return true
+			}
+			vals[i] = b
+			cont = rec(i+1, nd)
+			return cont
+		})
+		return cont
+	}
+	rec(0, dom)
+}
+
+// FindBijectionOn searches for a homomorphism h : A → B whose restriction
+// to SA is a bijection onto SB.  This is the witness required by renaming
+// equivalence (Definition 5.3): a surjection SA → SB extending to a
+// homomorphism (|SA| = |SB| makes surjectivity and bijectivity coincide).
+// Returns the full assignment if found.
+func FindBijectionOn(A, B *structure.Structure, SA, SB []int) ([]int, bool) {
+	if len(SA) != len(SB) {
+		return nil, false
+	}
+	restrict := make(map[int][]int, len(SA))
+	for _, a := range SA {
+		restrict[a] = append([]int(nil), SB...)
+	}
+	return Find(A, B, Options{Restrict: restrict, AllDiff: append([]int(nil), SA...)})
+}
+
+// SortElems returns a sorted copy of indices (utility shared by callers).
+func SortElems(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,170 @@
+// Package ie implements the inclusion–exclusion machinery of Section 5.3:
+// expanding a disjunction of free pp-formulas into signed conjunction
+// terms, and cancelling counting-equivalent terms to obtain φ*
+// (Proposition 5.16, Examples 4.2 and 5.15).  For every structure B,
+//
+//	|φ(B)| = Σ_i  c_i · |φ*_i(B)|,
+//
+// with pairwise non-counting-equivalent φ*_i and non-zero integer c_i.
+package ie
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/pp"
+	"repro/internal/structure"
+)
+
+// Term is a signed pp-formula in an inclusion–exclusion expansion.
+type Term struct {
+	Formula pp.PP
+	Coeff   *big.Int
+	// Subset records one witnessing subset J of the original disjuncts
+	// (indices) whose conjunction produced the representative formula.
+	Subset []int
+}
+
+// MaxDisjuncts caps the 2^s inclusion–exclusion expansion.
+const MaxDisjuncts = 20
+
+// RawTerms returns the unmerged inclusion–exclusion expansion: for every
+// non-empty J ⊆ [s], the conjunction ⋀_{j∈J} φ_j with coefficient
+// (-1)^{|J|+1} (equation (1) in Section 5.3).
+func RawTerms(disjuncts []pp.PP) ([]Term, error) {
+	s := len(disjuncts)
+	if s == 0 {
+		return nil, nil
+	}
+	if s > MaxDisjuncts {
+		return nil, fmt.Errorf("ie: %d disjuncts exceed the 2^s expansion cap of %d", s, MaxDisjuncts)
+	}
+	var out []Term
+	for mask := 1; mask < 1<<s; mask++ {
+		var subset []int
+		var parts []pp.PP
+		for j := 0; j < s; j++ {
+			if mask&(1<<j) != 0 {
+				subset = append(subset, j)
+				parts = append(parts, disjuncts[j])
+			}
+		}
+		conj, err := pp.Conjoin(parts...)
+		if err != nil {
+			return nil, err
+		}
+		coeff := big.NewInt(1)
+		if len(subset)%2 == 0 {
+			coeff.SetInt64(-1)
+		}
+		out = append(out, Term{Formula: conj, Coeff: coeff, Subset: subset})
+	}
+	return out, nil
+}
+
+// Merge combines counting-equivalent terms, summing coefficients, and
+// drops terms whose coefficient cancels to zero — the simplification step
+// of Proposition 5.16.  Each class is represented by the core of its
+// first-seen formula (logically equivalent, hence count-preserving).
+//
+// Terms are bucketed by the invariant key of their *core*: counting
+// equivalence is renaming equivalence (Theorem 5.4), and renaming-
+// equivalent formulas have cores isomorphic up to a renaming of the
+// liberal variables (Theorem 2.3 after identifying the liberal sets), so
+// equivalent terms always share a bucket even when their raw universes
+// differ by redundant quantified parts.  This guarantees the output is
+// pairwise non-counting-equivalent — the contract Lemma 5.18's recursive
+// peeling depends on.
+func Merge(terms []Term) ([]Term, error) {
+	// Fast path: canonical labeling of the core is a complete invariant
+	// for counting equivalence (pp.CanonicalKey), so classes are exact
+	// hash buckets.  If the labeling budget is ever exceeded, fall back
+	// to invariant-key bucketing with pairwise Theorem 5.4 tests.
+	type bucket struct{ idxs []int }
+	canonIdx := make(map[string]int)
+	buckets := make(map[string]*bucket)
+	var merged []Term
+	for _, t := range terms {
+		cored, err := t.Formula.Core()
+		if err != nil {
+			return nil, err
+		}
+		if canon, err := cored.CanonicalKey(); err == nil && !disableCanonForTest {
+			if mi, ok := canonIdx[canon]; ok {
+				merged[mi].Coeff = new(big.Int).Add(merged[mi].Coeff, t.Coeff)
+			} else {
+				canonIdx[canon] = len(merged)
+				merged = append(merged, Term{
+					Formula: cored,
+					Coeff:   new(big.Int).Set(t.Coeff),
+					Subset:  append([]int(nil), t.Subset...),
+				})
+			}
+			continue
+		}
+		key := cored.InvariantKey()
+		b := buckets[key]
+		if b == nil {
+			b = &bucket{}
+			buckets[key] = b
+		}
+		matched := false
+		for _, mi := range b.idxs {
+			eq, err := pp.CountingEquivalent(merged[mi].Formula, cored)
+			if err != nil {
+				return nil, err
+			}
+			if eq {
+				merged[mi].Coeff = new(big.Int).Add(merged[mi].Coeff, t.Coeff)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			b.idxs = append(b.idxs, len(merged))
+			merged = append(merged, Term{
+				Formula: cored,
+				Coeff:   new(big.Int).Set(t.Coeff),
+				Subset:  append([]int(nil), t.Subset...),
+			})
+		}
+	}
+	var out []Term
+	for _, t := range merged {
+		if t.Coeff.Sign() != 0 {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// PhiStar computes φ* for an all-free disjunction: the cancelled
+// inclusion–exclusion expansion of Proposition 5.16.
+func PhiStar(disjuncts []pp.PP) ([]Term, error) {
+	raw, err := RawTerms(disjuncts)
+	if err != nil {
+		return nil, err
+	}
+	return Merge(raw)
+}
+
+// CountFunc counts a pp-formula on a structure; the caller chooses the
+// engine (decoupling ie from the counting package).
+type CountFunc func(pp.PP, *structure.Structure) (*big.Int, error)
+
+// Count evaluates Σ_i c_i·|φ*_i(B)| with the supplied pp counter.
+func Count(terms []Term, b *structure.Structure, cnt CountFunc) (*big.Int, error) {
+	total := new(big.Int)
+	for _, t := range terms {
+		v, err := cnt(t.Formula, b)
+		if err != nil {
+			return nil, err
+		}
+		total.Add(total, new(big.Int).Mul(t.Coeff, v))
+	}
+	return total, nil
+}
+
+// disableCanonForTest forces Merge onto the invariant-key + pairwise
+// Theorem 5.4 fallback path, so tests can verify both paths agree.
+var disableCanonForTest bool

@@ -1,0 +1,338 @@
+package ie
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/count"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/pp"
+	"repro/internal/structure"
+	"repro/internal/workload"
+)
+
+func edgeSig() *structure.Signature { return workload.EdgeSig() }
+
+func mustDisjunct(t *testing.T, sig *structure.Signature, lib []logic.Var, src string) pp.PP {
+	t.Helper()
+	q, err := parser.ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := q.Disjuncts()
+	if len(ds) != 1 {
+		t.Fatalf("%q is not a single pp disjunct", src)
+	}
+	p, err := pp.FromDisjunct(sig, lib, ds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// example42 returns φ1, φ2, φ3 of Example 4.2 over V = {w,x,y,z}.
+func example42(t *testing.T) []pp.PP {
+	t.Helper()
+	lib := []logic.Var{"w", "x", "y", "z"}
+	sig := edgeSig()
+	return []pp.PP{
+		mustDisjunct(t, sig, lib, "p(w,x,y,z) := E(x,y) & E(y,z)"),
+		mustDisjunct(t, sig, lib, "p(w,x,y,z) := E(z,w) & E(w,x)"),
+		mustDisjunct(t, sig, lib, "p(w,x,y,z) := E(w,x) & E(x,y)"),
+	}
+}
+
+func TestRawTermsCount(t *testing.T) {
+	ds := example42(t)
+	raw, err := RawTerms(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 7 {
+		t.Fatalf("raw terms = %d, want 2³-1 = 7", len(raw))
+	}
+	// Signs: |J| odd → +1, |J| even → -1.
+	for _, term := range raw {
+		want := int64(1)
+		if len(term.Subset)%2 == 0 {
+			want = -1
+		}
+		if term.Coeff.Int64() != want {
+			t.Fatalf("subset %v coeff = %v, want %d", term.Subset, term.Coeff, want)
+		}
+	}
+}
+
+// Example 4.2 / 5.15: after cancellation, φ* = {3·φ1, -2·(φ1∧φ3)}.
+func TestExample42Cancellation(t *testing.T) {
+	ds := example42(t)
+	star, err := PhiStar(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(star) != 2 {
+		for _, s := range star {
+			t.Logf("term %v × %v", s.Coeff, s.Formula)
+		}
+		t.Fatalf("φ* has %d terms, want 2", len(star))
+	}
+	var got3, gotm2 bool
+	for _, s := range star {
+		switch s.Coeff.Int64() {
+		case 3:
+			got3 = true
+			// Representative must be counting equivalent to φ1.
+			eq, err := pp.CountingEquivalent(s.Formula, ds[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !eq {
+				t.Fatal("coefficient-3 term should be φ1's class")
+			}
+		case -2:
+			gotm2 = true
+			// Representative is the 3-path class (φ1∧φ3).
+			conj, err := pp.Conjoin(ds[0], ds[2])
+			if err != nil {
+				t.Fatal(err)
+			}
+			eq, err := pp.CountingEquivalent(s.Formula, conj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !eq {
+				t.Fatal("coefficient -2 term should be φ1∧φ3's class")
+			}
+		default:
+			t.Fatalf("unexpected coefficient %v", s.Coeff)
+		}
+	}
+	if !got3 || !gotm2 {
+		t.Fatal("missing expected coefficients 3 and -2")
+	}
+}
+
+// The cancelled terms must still compute |φ(B)| exactly.
+func TestExample42CountMatchesUnion(t *testing.T) {
+	ds := example42(t)
+	star, err := PhiStar(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		b := workload.RandomStructure(edgeSig(), 4, 0.4, seed)
+		want, err := count.EPUnion(ds, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Count(star, b, func(p pp.PP, s *structure.Structure) (*big.Int, error) {
+			return count.PP(p, s, count.EngineFPT)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(want) != 0 {
+			t.Fatalf("seed %d: IE count %v != union %v", seed, got, want)
+		}
+	}
+}
+
+// Raw (uncancelled) inclusion–exclusion must agree with the cancelled one.
+func TestRawEqualsMerged(t *testing.T) {
+	ds := example42(t)
+	raw, err := RawTerms(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, err := Merge(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := workload.RandomStructure(edgeSig(), 5, 0.3, 42)
+	cnt := func(p pp.PP, s *structure.Structure) (*big.Int, error) {
+		return count.PP(p, s, count.EngineProjection)
+	}
+	a, err := Count(raw, b, cnt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Count(star, b, cnt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cmp(c) != 0 {
+		t.Fatalf("raw %v != merged %v", a, c)
+	}
+}
+
+// Example 4.1's expansion: φ1, φ2 not equivalent, no cancellation: φ* has
+// all three terms with coefficients +1, +1, -1.
+func TestExample41Terms(t *testing.T) {
+	lib := []logic.Var{"w", "x", "y", "z"}
+	sig := edgeSig()
+	ds := []pp.PP{
+		mustDisjunct(t, sig, lib, "p(w,x,y,z) := E(x,y) & E(w,x)"),
+		mustDisjunct(t, sig, lib, "p(w,x,y,z) := E(x,y) & E(y,z) & E(z,z)"),
+	}
+	star, err := PhiStar(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(star) != 3 {
+		t.Fatalf("φ* terms = %d, want 3", len(star))
+	}
+	sum := new(big.Int)
+	for _, s := range star {
+		sum.Add(sum, s.Coeff)
+	}
+	if sum.Int64() != 1 {
+		t.Fatalf("coefficients should sum to 1 (|J| parity), got %v", sum)
+	}
+}
+
+func TestMaxDisjunctsGuard(t *testing.T) {
+	lib := []logic.Var{"x", "y"}
+	sig := edgeSig()
+	one := mustDisjunct(t, sig, lib, "p(x,y) := E(x,y)")
+	many := make([]pp.PP, MaxDisjuncts+1)
+	for i := range many {
+		many[i] = one
+	}
+	if _, err := RawTerms(many); err == nil {
+		t.Fatal("expansion cap not enforced")
+	}
+}
+
+// Regression: counting-equivalent terms with different universe sizes
+// (one carries a redundant quantified part the other lacks) must still
+// merge — the bucketing is by the invariant key of the CORE.  Here
+// ψ1 = ∃u.E(x,u) and ψ2 = E(x,x): the conjunction ψ1∧ψ2 is counting
+// equivalent to ψ2 (the quantified u retracts onto x), so their +1/−1
+// coefficients cancel and φ* = {ψ1}.
+func TestMergeAcrossUniverseSizes(t *testing.T) {
+	sig := edgeSig()
+	lib := []logic.Var{"x"}
+	psi1 := mustDisjunct(t, sig, lib, "p(x) := exists u. E(x,u)")
+	psi2 := mustDisjunct(t, sig, lib, "p(x) := E(x,x)")
+	star, err := PhiStar([]pp.PP{psi1, psi2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(star) != 1 {
+		for _, s := range star {
+			t.Logf("term %v × %v", s.Coeff, s.Formula)
+		}
+		t.Fatalf("φ* terms = %d, want 1 (ψ2 and ψ1∧ψ2 must cancel)", len(star))
+	}
+	eq, err := pp.CountingEquivalent(star[0].Formula, psi1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq || star[0].Coeff.Int64() != 1 {
+		t.Fatalf("surviving term %v × %v should be +1·ψ1", star[0].Coeff, star[0].Formula)
+	}
+	// And the cancelled expansion still counts correctly.
+	for seed := int64(0); seed < 6; seed++ {
+		b := workload.RandomStructure(sig, 3, 0.4, seed)
+		want, err := count.EPUnion([]pp.PP{psi1, psi2}, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Count(star, b, func(p pp.PP, s *structure.Structure) (*big.Int, error) {
+			return count.PP(p, s, count.EngineFPT)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(want) != 0 {
+			t.Fatalf("seed %d: %v != %v", seed, got, want)
+		}
+	}
+}
+
+// The output of Merge must be pairwise non-counting-equivalent — the
+// contract the backward reduction's peeling relies on.
+func TestMergeOutputPairwiseInequivalent(t *testing.T) {
+	ds := example42(t)
+	star, err := PhiStar(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range star {
+		for j := i + 1; j < len(star); j++ {
+			eq, err := pp.CountingEquivalent(star[i].Formula, star[j].Formula)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eq {
+				t.Fatalf("terms %d and %d are counting equivalent after Merge", i, j)
+			}
+		}
+	}
+}
+
+func TestEmptyDisjuncts(t *testing.T) {
+	star, err := PhiStar(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(star) != 0 {
+		t.Fatal("empty input should give empty φ*")
+	}
+	b := workload.RandomStructure(edgeSig(), 3, 0.5, 7)
+	got, err := Count(star, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sign() != 0 {
+		t.Fatal("empty sum should be 0")
+	}
+}
+
+// The canonical-key fast path and the pairwise-equivalence fallback of
+// Merge must produce identical expansions.
+func TestMergeFallbackAgreesWithCanonical(t *testing.T) {
+	ds := example42(t)
+	raw, err := RawTerms(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Merge(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disableCanonForTest = true
+	defer func() { disableCanonForTest = false }()
+	slow, err := Merge(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast) != len(slow) {
+		t.Fatalf("paths disagree: %d vs %d terms", len(fast), len(slow))
+	}
+	for i := range fast {
+		if fast[i].Coeff.Cmp(slow[i].Coeff) != 0 {
+			t.Fatalf("term %d coefficient: %v vs %v", i, fast[i].Coeff, slow[i].Coeff)
+		}
+		eq, err := pp.CountingEquivalent(fast[i].Formula, slow[i].Formula)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("term %d representatives not equivalent", i)
+		}
+	}
+	// And the size-crossing regression must also hold on the slow path.
+	sig := edgeSig()
+	lib := []logic.Var{"x"}
+	psi1 := mustDisjunct(t, sig, lib, "p(x) := exists u. E(x,u)")
+	psi2 := mustDisjunct(t, sig, lib, "p(x) := E(x,x)")
+	star, err := PhiStar([]pp.PP{psi1, psi2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(star) != 1 {
+		t.Fatalf("fallback path: φ* terms = %d, want 1", len(star))
+	}
+}

@@ -1,0 +1,130 @@
+// Package lin provides exact linear algebra over big rationals: Gaussian
+// elimination and Vandermonde solves.  The paper's oracle reductions
+// (Example 4.3, Theorem 5.20, Theorem 5.4's proof) recover counts by
+// solving linear systems whose matrices are Vandermonde matrices built
+// from counts on product structures; exact rational arithmetic keeps the
+// recovered counts exact integers.
+package lin
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Solve solves the n×n system m·x = rhs by Gaussian elimination with
+// partial (first non-zero) pivoting over exact rationals.  m and rhs are
+// not modified.  Returns an error if the matrix is singular.
+func Solve(m [][]*big.Rat, rhs []*big.Rat) ([]*big.Rat, error) {
+	n := len(m)
+	if n == 0 {
+		return nil, nil
+	}
+	for i, row := range m {
+		if len(row) != n {
+			return nil, fmt.Errorf("lin: row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	if len(rhs) != n {
+		return nil, fmt.Errorf("lin: rhs has %d entries, want %d", len(rhs), n)
+	}
+	// Working copies.
+	a := make([][]*big.Rat, n)
+	for i := range a {
+		a[i] = make([]*big.Rat, n+1)
+		for j := 0; j < n; j++ {
+			a[i][j] = new(big.Rat).Set(m[i][j])
+		}
+		a[i][n] = new(big.Rat).Set(rhs[i])
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if a[r][col].Sign() != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			return nil, fmt.Errorf("lin: singular matrix (column %d)", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		inv := new(big.Rat).Inv(a[col][col])
+		for j := col; j <= n; j++ {
+			a[col][j].Mul(a[col][j], inv)
+		}
+		for r := 0; r < n; r++ {
+			if r == col || a[r][col].Sign() == 0 {
+				continue
+			}
+			f := new(big.Rat).Set(a[r][col])
+			for j := col; j <= n; j++ {
+				t := new(big.Rat).Mul(f, a[col][j])
+				a[r][j].Sub(a[r][j], t)
+			}
+		}
+	}
+	x := make([]*big.Rat, n)
+	for i := range x {
+		x[i] = a[i][n]
+	}
+	return x, nil
+}
+
+// SolveVandermonde solves Σ_j nodes[j]^i · x_j = rhs[i] for i = 0..n-1.
+// The nodes must be pairwise distinct (the matrix is then non-singular,
+// the property the distinguishing-structure lemmas arrange).
+func SolveVandermonde(nodes []*big.Int, rhs []*big.Int) ([]*big.Rat, error) {
+	n := len(nodes)
+	if len(rhs) != n {
+		return nil, fmt.Errorf("lin: %d nodes but %d values", n, len(rhs))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if nodes[i].Cmp(nodes[j]) == 0 {
+				return nil, fmt.Errorf("lin: repeated Vandermonde node %v", nodes[i])
+			}
+		}
+	}
+	m := make([][]*big.Rat, n)
+	r := make([]*big.Rat, n)
+	for i := 0; i < n; i++ {
+		m[i] = make([]*big.Rat, n)
+		for j := 0; j < n; j++ {
+			p := new(big.Int).Exp(nodes[j], big.NewInt(int64(i)), nil)
+			m[i][j] = new(big.Rat).SetInt(p)
+		}
+		r[i] = new(big.Rat).SetInt(rhs[i])
+	}
+	return Solve(m, r)
+}
+
+// RatInt converts an exact-integer rational to a big.Int, failing if the
+// value is not integral (which would indicate an upstream bug in a
+// count-recovery pipeline).
+func RatInt(r *big.Rat) (*big.Int, error) {
+	if !r.IsInt() {
+		return nil, fmt.Errorf("lin: expected integer, got %v", r)
+	}
+	return new(big.Int).Set(r.Num()), nil
+}
+
+// InterpolatePolynomial returns the coefficients (degree 0 upward) of the
+// unique polynomial of degree < n through the n points (xs[i], ys[i]).
+// Used to reason about counts that are polynomials in padding parameters
+// (proof of Theorem 5.9).
+func InterpolatePolynomial(xs, ys []*big.Rat) ([]*big.Rat, error) {
+	n := len(xs)
+	if len(ys) != n {
+		return nil, fmt.Errorf("lin: %d xs but %d ys", n, len(ys))
+	}
+	m := make([][]*big.Rat, n)
+	for i := 0; i < n; i++ {
+		m[i] = make([]*big.Rat, n)
+		p := new(big.Rat).SetInt64(1)
+		for j := 0; j < n; j++ {
+			m[i][j] = new(big.Rat).Set(p)
+			p = new(big.Rat).Mul(p, xs[i])
+		}
+	}
+	return Solve(m, ys)
+}

@@ -1,0 +1,171 @@
+package lin
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func rat(n int64) *big.Rat { return new(big.Rat).SetInt64(n) }
+
+func TestSolveIdentity(t *testing.T) {
+	m := [][]*big.Rat{{rat(1), rat(0)}, {rat(0), rat(1)}}
+	x, err := Solve(m, []*big.Rat{rat(3), rat(-7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0].Cmp(rat(3)) != 0 || x[1].Cmp(rat(-7)) != 0 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveGeneral(t *testing.T) {
+	// 2x + y = 5; x - y = 1 → x = 2, y = 1.
+	m := [][]*big.Rat{{rat(2), rat(1)}, {rat(1), rat(-1)}}
+	x, err := Solve(m, []*big.Rat{rat(5), rat(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0].Cmp(rat(2)) != 0 || x[1].Cmp(rat(1)) != 0 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolvePivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	m := [][]*big.Rat{{rat(0), rat(1)}, {rat(1), rat(0)}}
+	x, err := Solve(m, []*big.Rat{rat(4), rat(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0].Cmp(rat(9)) != 0 || x[1].Cmp(rat(4)) != 0 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	m := [][]*big.Rat{{rat(1), rat(2)}, {rat(2), rat(4)}}
+	if _, err := Solve(m, []*big.Rat{rat(1), rat(2)}); err == nil {
+		t.Fatal("singular matrix should error")
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	if _, err := Solve([][]*big.Rat{{rat(1)}, {rat(2)}}, []*big.Rat{rat(1), rat(2)}); err == nil {
+		t.Fatal("ragged matrix should error")
+	}
+	if _, err := Solve([][]*big.Rat{{rat(1)}}, []*big.Rat{rat(1), rat(2)}); err == nil {
+		t.Fatal("rhs length mismatch should error")
+	}
+	x, err := Solve(nil, nil)
+	if err != nil || x != nil {
+		t.Fatal("empty system should be trivially solvable")
+	}
+}
+
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	m := [][]*big.Rat{{rat(2), rat(1)}, {rat(1), rat(-1)}}
+	r := []*big.Rat{rat(5), rat(1)}
+	if _, err := Solve(m, r); err != nil {
+		t.Fatal(err)
+	}
+	if m[0][0].Cmp(rat(2)) != 0 || r[0].Cmp(rat(5)) != 0 {
+		t.Fatal("Solve mutated its inputs")
+	}
+}
+
+func TestSolveVandermonde(t *testing.T) {
+	// Recover x = (2, 3, 5) from moments against nodes (1, 2, 4):
+	// Σ x_j = 10; Σ n_j x_j = 28; Σ n_j² x_j = 94.
+	nodes := []*big.Int{big.NewInt(1), big.NewInt(2), big.NewInt(4)}
+	rhs := []*big.Int{big.NewInt(10), big.NewInt(28), big.NewInt(94)}
+	x, err := SolveVandermonde(nodes, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int64{2, 3, 5} {
+		v, err := RatInt(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Int64() != want {
+			t.Fatalf("x[%d] = %v, want %d", i, v, want)
+		}
+	}
+}
+
+func TestSolveVandermondeRepeatedNode(t *testing.T) {
+	nodes := []*big.Int{big.NewInt(2), big.NewInt(2)}
+	rhs := []*big.Int{big.NewInt(1), big.NewInt(2)}
+	if _, err := SolveVandermonde(nodes, rhs); err == nil {
+		t.Fatal("repeated node should error")
+	}
+}
+
+func TestRatInt(t *testing.T) {
+	if v, err := RatInt(new(big.Rat).SetInt64(42)); err != nil || v.Int64() != 42 {
+		t.Fatalf("RatInt(42) = %v, %v", v, err)
+	}
+	if _, err := RatInt(big.NewRat(1, 2)); err == nil {
+		t.Fatal("non-integer should error")
+	}
+}
+
+func TestInterpolatePolynomial(t *testing.T) {
+	// p(x) = 1 + 2x + 3x²: points at x = 0,1,2.
+	xs := []*big.Rat{rat(0), rat(1), rat(2)}
+	ys := []*big.Rat{rat(1), rat(6), rat(17)}
+	cs, err := InterpolatePolynomial(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int64{1, 2, 3} {
+		if cs[i].Cmp(rat(want)) != 0 {
+			t.Fatalf("coeff[%d] = %v, want %d", i, cs[i], want)
+		}
+	}
+	if _, err := InterpolatePolynomial(xs, ys[:2]); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+// Property: Vandermonde solves round-trip (build rhs from known x, solve,
+// compare) for random small instances with distinct nodes.
+func TestVandermondeRoundTripProperty(t *testing.T) {
+	f := func(a, b, c int8, x0, x1, x2 int16) bool {
+		// Nodes must be distinct.
+		n0, n1, n2 := int64(a), int64(a)+1+abs64(int64(b))%5, int64(a)+7+abs64(int64(c))%5
+		nodes := []*big.Int{big.NewInt(n0), big.NewInt(n1), big.NewInt(n2)}
+		xs := []*big.Int{big.NewInt(int64(x0)), big.NewInt(int64(x1)), big.NewInt(int64(x2))}
+		rhs := make([]*big.Int, 3)
+		for i := 0; i < 3; i++ {
+			s := new(big.Int)
+			for j := 0; j < 3; j++ {
+				p := new(big.Int).Exp(nodes[j], big.NewInt(int64(i)), nil)
+				s.Add(s, p.Mul(p, xs[j]))
+			}
+			rhs[i] = s
+		}
+		sol, err := SolveVandermonde(nodes, rhs)
+		if err != nil {
+			return false
+		}
+		for j := 0; j < 3; j++ {
+			v, err := RatInt(sol[j])
+			if err != nil || v.Cmp(xs[j]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

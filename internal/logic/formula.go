@@ -1,0 +1,208 @@
+// Package logic provides the syntax of existential positive (ep) formulas:
+// atoms, conjunction, disjunction and existential quantification, together
+// with the standard syntactic operations the paper needs — free variables,
+// liberal variables (lib ⊇ free, Section 2.1), capture-free renaming, and
+// the translation of an arbitrary ep-formula into a disjunction of prenex
+// primitive positive (pp) formulas.
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Var is a variable name.
+type Var string
+
+// Formula is an ep-formula node.  The four implementations are Atom, And,
+// Or and Exists, plus Truth (the empty conjunction ⊤, which arises as the
+// formula of an atom-free component, cf. Example 2.4).
+type Formula interface {
+	fmt.Stringer
+	isFormula()
+}
+
+// Atom is a predicate application R(v1,...,vk).
+type Atom struct {
+	Rel  string
+	Args []Var
+}
+
+// And is binary conjunction.
+type And struct{ L, R Formula }
+
+// Or is binary disjunction.
+type Or struct{ L, R Formula }
+
+// Exists is existential quantification of a single variable.
+type Exists struct {
+	V    Var
+	Body Formula
+}
+
+// Truth is the empty conjunction ⊤.
+type Truth struct{}
+
+func (Atom) isFormula()   {}
+func (And) isFormula()    {}
+func (Or) isFormula()     {}
+func (Exists) isFormula() {}
+func (Truth) isFormula()  {}
+
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, v := range a.Args {
+		parts[i] = string(v)
+	}
+	return a.Rel + "(" + strings.Join(parts, ",") + ")"
+}
+
+func (f And) String() string { return "(" + f.L.String() + " & " + f.R.String() + ")" }
+func (f Or) String() string  { return "(" + f.L.String() + " | " + f.R.String() + ")" }
+func (f Exists) String() string {
+	return "exists " + string(f.V) + ". " + f.Body.String()
+}
+func (Truth) String() string { return "true" }
+
+// Conj builds a right-nested conjunction of the given formulas (⊤ if none).
+func Conj(fs ...Formula) Formula {
+	if len(fs) == 0 {
+		return Truth{}
+	}
+	out := fs[len(fs)-1]
+	for i := len(fs) - 2; i >= 0; i-- {
+		out = And{fs[i], out}
+	}
+	return out
+}
+
+// Disj builds a right-nested disjunction; panics on empty input (ep-logic
+// has no ⊥).
+func Disj(fs ...Formula) Formula {
+	if len(fs) == 0 {
+		panic("logic: empty disjunction")
+	}
+	out := fs[len(fs)-1]
+	for i := len(fs) - 2; i >= 0; i-- {
+		out = Or{fs[i], out}
+	}
+	return out
+}
+
+// Exist wraps body in existential quantifiers for each variable, outermost
+// first.
+func Exist(vs []Var, body Formula) Formula {
+	out := body
+	for i := len(vs) - 1; i >= 0; i-- {
+		out = Exists{vs[i], out}
+	}
+	return out
+}
+
+// FreeVars returns the free variables of f as a set.
+func FreeVars(f Formula) map[Var]bool {
+	out := make(map[Var]bool)
+	collectFree(f, out, make(map[Var]int))
+	return out
+}
+
+func collectFree(f Formula, out map[Var]bool, bound map[Var]int) {
+	switch g := f.(type) {
+	case Atom:
+		for _, v := range g.Args {
+			if bound[v] == 0 {
+				out[v] = true
+			}
+		}
+	case And:
+		collectFree(g.L, out, bound)
+		collectFree(g.R, out, bound)
+	case Or:
+		collectFree(g.L, out, bound)
+		collectFree(g.R, out, bound)
+	case Exists:
+		bound[g.V]++
+		collectFree(g.Body, out, bound)
+		bound[g.V]--
+	case Truth:
+	}
+}
+
+// AllVars returns every variable occurring in f (free or bound).
+func AllVars(f Formula) map[Var]bool {
+	out := make(map[Var]bool)
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch g := f.(type) {
+		case Atom:
+			for _, v := range g.Args {
+				out[v] = true
+			}
+		case And:
+			walk(g.L)
+			walk(g.R)
+		case Or:
+			walk(g.L)
+			walk(g.R)
+		case Exists:
+			out[g.V] = true
+			walk(g.Body)
+		case Truth:
+		}
+	}
+	walk(f)
+	return out
+}
+
+// Atoms returns all atoms of f in syntactic order.
+func Atoms(f Formula) []Atom {
+	var out []Atom
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch g := f.(type) {
+		case Atom:
+			out = append(out, g)
+		case And:
+			walk(g.L)
+			walk(g.R)
+		case Or:
+			walk(g.L)
+			walk(g.R)
+		case Exists:
+			walk(g.Body)
+		case Truth:
+		}
+	}
+	walk(f)
+	return out
+}
+
+// InferSignature derives the relation symbols used by f.  It is an error
+// for a relation to occur with two different arities.
+func InferSignature(f Formula) (map[string]int, error) {
+	sig := make(map[string]int)
+	for _, a := range Atoms(f) {
+		if prev, ok := sig[a.Rel]; ok {
+			if prev != len(a.Args) {
+				return nil, fmt.Errorf("logic: relation %s used with arities %d and %d", a.Rel, prev, len(a.Args))
+			}
+		} else {
+			if len(a.Args) == 0 {
+				return nil, fmt.Errorf("logic: relation %s used with arity 0", a.Rel)
+			}
+			sig[a.Rel] = len(a.Args)
+		}
+	}
+	return sig, nil
+}
+
+// SortedVars returns the set's variables in lexicographic order.
+func SortedVars(set map[Var]bool) []Var {
+	out := make([]Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

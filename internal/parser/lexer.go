@@ -1,0 +1,142 @@
+// Package parser provides the concrete syntax of the library: ep-formula
+// queries such as
+//
+//	phi(w,x,y,z) := E(x,y) & (E(w,x) | exists u. E(y,u) & E(u,u))
+//
+// and structure fact files such as
+//
+//	universe a, b, c.
+//	E(a,b). E(b,c). F(c).
+//
+// Operator precedence: '|' binds loosest, then '&'; 'exists v[, w...].'
+// extends as far right as possible; parentheses group; 'true' is the empty
+// conjunction.
+package parser
+
+import (
+	"fmt"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokAmp
+	tokPipe
+	tokAssign // :=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+	toks []token
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '\''
+}
+
+// lex tokenizes src, stripping '%' and '#' line comments.
+func lex(src string) ([]token, error) {
+	lx := &lexer{src: src, line: 1, col: 1}
+	rs := []rune(src)
+	i := 0
+	emit := func(kind tokenKind, text string) {
+		lx.toks = append(lx.toks, token{kind: kind, text: text, pos: i, line: lx.line, col: lx.col})
+	}
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if rs[i+k] == '\n' {
+				lx.line++
+				lx.col = 1
+			} else {
+				lx.col++
+			}
+		}
+		i += n
+	}
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case r == ' ' || r == '\t' || r == '\n' || r == '\r':
+			advance(1)
+		case r == '%' || r == '#':
+			for i < len(rs) && rs[i] != '\n' {
+				advance(1)
+			}
+		case r == '(':
+			emit(tokLParen, "(")
+			advance(1)
+		case r == ')':
+			emit(tokRParen, ")")
+			advance(1)
+		case r == ',':
+			emit(tokComma, ",")
+			advance(1)
+		case r == '.':
+			emit(tokDot, ".")
+			advance(1)
+		case r == '&' || r == '∧':
+			emit(tokAmp, "&")
+			advance(1)
+		case r == '|' || r == '∨':
+			emit(tokPipe, "|")
+			advance(1)
+		case r == ':':
+			if i+1 < len(rs) && rs[i+1] == '=' {
+				emit(tokAssign, ":=")
+				advance(2)
+			} else {
+				return nil, fmt.Errorf("parser: line %d col %d: unexpected ':'", lx.line, lx.col)
+			}
+		case isIdentStart(r):
+			j := i
+			for j < len(rs) && isIdentRune(rs[j]) {
+				j++
+			}
+			emit(tokIdent, string(rs[i:j]))
+			advance(j - i)
+		default:
+			return nil, fmt.Errorf("parser: line %d col %d: unexpected character %q", lx.line, lx.col, string(r))
+		}
+	}
+	lx.toks = append(lx.toks, token{kind: tokEOF, line: lx.line, col: lx.col})
+	return lx.toks, nil
+}
+
+// errorAt formats a parse error with position information.
+func errorAt(t token, format string, args ...interface{}) error {
+	msg := fmt.Sprintf(format, args...)
+	return fmt.Errorf("parser: line %d col %d: %s", t.line, t.col, msg)
+}

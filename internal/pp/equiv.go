@@ -1,0 +1,81 @@
+package pp
+
+import (
+	"fmt"
+
+	"repro/internal/hom"
+)
+
+// RenamingEquivalent implements Definition 5.3: two pp-formulas are
+// renaming equivalent if there are surjections h : S₁ → S₂ and
+// h' : S₂ → S₁ that extend to homomorphisms A₁ → A₂ and A₂ → A₁
+// respectively.  (Surjections between finite liberal sets of equal size
+// are bijections, and unequal sizes immediately refute equivalence —
+// Observation 5.5.)
+func RenamingEquivalent(p, q PP) (bool, error) {
+	if !p.A.Signature().Equal(q.A.Signature()) {
+		return false, fmt.Errorf("pp: renaming equivalence across different signatures")
+	}
+	if len(p.S) != len(q.S) {
+		return false, nil
+	}
+	if _, ok := hom.FindBijectionOn(p.A, q.A, p.S, q.S); !ok {
+		return false, nil
+	}
+	if _, ok := hom.FindBijectionOn(q.A, p.A, q.S, p.S); !ok {
+		return false, nil
+	}
+	return true, nil
+}
+
+// CountingEquivalent decides whether |p(B)| = |q(B)| for every finite
+// structure B.  By Theorem 5.4 this coincides with renaming equivalence,
+// which makes the problem decidable (and in NP).
+func CountingEquivalent(p, q PP) (bool, error) {
+	return RenamingEquivalent(p, q)
+}
+
+// SemiCountingEquivalent decides Definition 5.6: |p(B)| = |q(B)| whenever
+// both counts are positive.  By Theorem 5.9 this holds iff p̂ and q̂ are
+// counting equivalent.  Defined for liberal formulas (the setting of the
+// all-free pipeline).
+func SemiCountingEquivalent(p, q PP) (bool, error) {
+	ph, err := p.Hat()
+	if err != nil {
+		return false, err
+	}
+	qh, err := q.Hat()
+	if err != nil {
+		return false, err
+	}
+	return CountingEquivalent(ph, qh)
+}
+
+// HomOrderMinimal returns the index of a formula whose plain structure
+// admits no homomorphism from any other formula's structure — the minimal
+// element used in Proposition 5.19.  The input formulas are assumed
+// pairwise non-homomorphically-equivalent (which Proposition 5.17
+// guarantees for semi-counting-equivalent, pairwise non-counting-
+// equivalent formulas); under that assumption a minimal element exists.
+func HomOrderMinimal(ps []PP) (int, error) {
+	if len(ps) == 0 {
+		return -1, fmt.Errorf("pp: no formulas")
+	}
+	// φi < φj iff hom(Ai → Aj).  Find i receiving no hom from others.
+	n := len(ps)
+	for i := 0; i < n; i++ {
+		minimal := true
+		for j := 0; j < n && minimal; j++ {
+			if j == i {
+				continue
+			}
+			if hom.Exists(ps[j].A, ps[i].A, hom.Options{}) {
+				minimal = false
+			}
+		}
+		if minimal {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("pp: no hom-order minimal element (inputs not pairwise hom-inequivalent?)")
+}

@@ -1,0 +1,544 @@
+// Package pp implements prenex primitive positive formulas in the
+// structure-pair view of Chandra–Merlin (Section 2.1 "pp-formulas"): a
+// pp-formula φ(S) is a pair (A, S) of a finite structure A whose universe
+// is the liberal variables S plus the quantified variables, and whose
+// tuples are φ's atoms.  The package provides the syntactic and algebraic
+// toolkit of the paper: components, augmented structures, cores,
+// ∃-components, contract graphs, conjunction, Chandra–Merlin entailment,
+// and the renaming / counting / semi-counting equivalences of Section 5.
+package pp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/hom"
+	"repro/internal/logic"
+	"repro/internal/structure"
+)
+
+// PP is a prenex pp-formula (A, S): A's elements are variables, S ⊆ A is
+// the set of liberal variables (stored as sorted element indices).
+// Elements of A ∖ S are existentially quantified.
+type PP struct {
+	A *structure.Structure
+	S []int
+}
+
+// New validates and returns a PP over the given structure and liberal set.
+func New(a *structure.Structure, s []int) (PP, error) {
+	if err := a.Validate(); err != nil {
+		return PP{}, err
+	}
+	seen := make(map[int]bool, len(s))
+	for _, v := range s {
+		if v < 0 || v >= a.Size() {
+			return PP{}, fmt.Errorf("pp: liberal index %d out of range", v)
+		}
+		if seen[v] {
+			return PP{}, fmt.Errorf("pp: duplicate liberal index %d", v)
+		}
+		seen[v] = true
+	}
+	return PP{A: a, S: hom.SortElems(s)}, nil
+}
+
+// FromDisjunct builds the pair view of a prenex pp disjunct over the given
+// liberal variables.  The universe is lib ∪ (variables of the disjunct);
+// liberal variables missing from every atom become isolated elements, as
+// in Example 2.2 (the variable z there).
+func FromDisjunct(sig *structure.Signature, lib []logic.Var, d logic.Disjunct) (PP, error) {
+	a := structure.New(sig)
+	s := make([]int, 0, len(lib))
+	for _, v := range lib {
+		i, err := a.AddElem(string(v))
+		if err != nil {
+			return PP{}, err
+		}
+		s = append(s, i)
+	}
+	for _, v := range d.Exist {
+		if _, err := a.AddElem(string(v)); err != nil {
+			return PP{}, fmt.Errorf("pp: quantified variable %s collides: %v", v, err)
+		}
+	}
+	for _, at := range d.Atoms {
+		ar, ok := sig.Arity(at.Rel)
+		if !ok {
+			return PP{}, fmt.Errorf("pp: atom uses unknown relation %s", at.Rel)
+		}
+		if ar != len(at.Args) {
+			return PP{}, fmt.Errorf("pp: atom %s has %d args, arity is %d", at.Rel, len(at.Args), ar)
+		}
+		t := make([]int, len(at.Args))
+		for j, v := range at.Args {
+			idx := a.ElemIndex(string(v))
+			if idx < 0 {
+				return PP{}, fmt.Errorf("pp: atom variable %s neither liberal nor quantified", v)
+			}
+			t[j] = idx
+		}
+		if err := a.AddTuple(at.Rel, t...); err != nil {
+			return PP{}, err
+		}
+	}
+	return New(a, s)
+}
+
+// ToDisjunct converts back to the logic view (existential variables are
+// A ∖ S in index order).
+func (p PP) ToDisjunct() logic.Disjunct {
+	inS := p.sSet()
+	var d logic.Disjunct
+	for i := 0; i < p.A.Size(); i++ {
+		if !inS[i] {
+			d.Exist = append(d.Exist, logic.Var(p.A.ElemName(i)))
+		}
+	}
+	for _, r := range p.A.Signature().Rels() {
+		for _, t := range p.A.Tuples(r.Name) {
+			args := make([]logic.Var, len(t))
+			for j, v := range t {
+				args[j] = logic.Var(p.A.ElemName(v))
+			}
+			d.Atoms = append(d.Atoms, logic.Atom{Rel: r.Name, Args: args})
+		}
+	}
+	return d
+}
+
+// LibNames returns the liberal variable names in element-index order.
+func (p PP) LibNames() []string {
+	out := make([]string, len(p.S))
+	for i, v := range p.S {
+		out[i] = p.A.ElemName(v)
+	}
+	return out
+}
+
+func (p PP) sSet() []bool {
+	in := make([]bool, p.A.Size())
+	for _, v := range p.S {
+		in[v] = true
+	}
+	return in
+}
+
+// String renders the formula as "(x,y) | exists u. E(x,u) & E(u,y)".
+func (p PP) String() string {
+	d := p.ToDisjunct()
+	return "(" + strings.Join(p.LibNames(), ",") + ") | " + d.String()
+}
+
+// IsLiberal reports |S| > 0.
+func (p PP) IsLiberal() bool { return len(p.S) > 0 }
+
+// FreeElems returns the liberal elements that occur in at least one atom:
+// these are exactly free(φ).
+func (p PP) FreeElems() []int {
+	occurs := make([]bool, p.A.Size())
+	for _, r := range p.A.Signature().Rels() {
+		for _, t := range p.A.Tuples(r.Name) {
+			for _, v := range t {
+				occurs[v] = true
+			}
+		}
+	}
+	var out []int
+	for _, v := range p.S {
+		if occurs[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IsSentence reports free(φ) = ∅: no liberal variable occurs in an atom.
+// (Liberal variables may still exist; they are isolated.)
+func (p PP) IsSentence() bool { return len(p.FreeElems()) == 0 }
+
+// IsFree reports free(φ) ≠ ∅.
+func (p PP) IsFree() bool { return !p.IsSentence() }
+
+// Graph returns the Gaifman graph of the formula: vertices are all of A's
+// elements, edges join elements co-occurring in a tuple (Section 2.1
+// "Graphs").
+func (p PP) Graph() *graph.Graph {
+	g := graph.New(p.A.Size())
+	for _, r := range p.A.Signature().Rels() {
+		for _, t := range p.A.Tuples(r.Name) {
+			for i := 0; i < len(t); i++ {
+				for j := i + 1; j < len(t); j++ {
+					g.AddEdge(t[i], t[j])
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Components splits the formula into its components (Section 2.1): one PP
+// per connected component of the Gaifman graph, with S restricted to the
+// component.  For any structure B, |φ(B)| = ∏ᵢ |φᵢ(B)|.
+func (p PP) Components() []PP {
+	comps := p.Graph().Components()
+	out := make([]PP, 0, len(comps))
+	inS := p.sSet()
+	for _, c := range comps {
+		sub, old2new := p.A.Induced(c)
+		var s []int
+		for _, v := range c {
+			if inS[v] {
+				s = append(s, old2new[v])
+			}
+		}
+		q, err := New(sub, s)
+		if err != nil {
+			panic(fmt.Sprintf("pp: invalid component: %v", err))
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// IsConnected reports whether the formula's graph is connected.
+func (p PP) IsConnected() bool { return p.Graph().IsConnected() }
+
+// Hat returns φ̂: the formula obtained by removing every non-liberal
+// component (a component without liberal variables), cf. Example 5.8 and
+// Proposition 5.10.  Only defined for liberal formulas.
+func (p PP) Hat() (PP, error) {
+	if !p.IsLiberal() {
+		return PP{}, fmt.Errorf("pp: Hat undefined for non-liberal formula")
+	}
+	inS := p.sSet()
+	var keep []int
+	for _, c := range p.Graph().Components() {
+		liberal := false
+		for _, v := range c {
+			if inS[v] {
+				liberal = true
+				break
+			}
+		}
+		if liberal {
+			keep = append(keep, c...)
+		}
+	}
+	sub, old2new := p.A.Induced(keep)
+	var s []int
+	for _, v := range p.S {
+		if old2new[v] >= 0 {
+			s = append(s, old2new[v])
+		}
+	}
+	return New(sub, s)
+}
+
+// libRelPrefix marks the augmented pinning relations R_a (Section 2.1).
+const libRelPrefix = "@lib:"
+
+// Aug returns the augmented structure aug(A,S) over the expanded
+// vocabulary τ ∪ {R_a | a ∈ S} with R_a = {a}.  Homomorphisms between
+// augmented structures must fix liberal variables pointwise (by name),
+// which is exactly Chandra–Merlin entailment with designated variables
+// (Theorem 2.3).
+func (p PP) Aug() (*structure.Structure, error) {
+	extra := make([]structure.RelSym, 0, len(p.S))
+	for _, v := range p.S {
+		extra = append(extra, structure.RelSym{Name: libRelPrefix + p.A.ElemName(v), Arity: 1})
+	}
+	sig, err := p.A.Signature().Extend(extra...)
+	if err != nil {
+		return nil, err
+	}
+	out, err := p.A.WithSignature(sig)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range p.S {
+		if err := out.AddTuple(libRelPrefix+p.A.ElemName(v), v); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// sameLibNames reports whether two formulas have the same set of liberal
+// variable names (required for entailment/equivalence comparisons that
+// fix the liberal variables pointwise).
+func sameLibNames(p, q PP) bool {
+	a, b := p.LibNames(), q.LibNames()
+	if len(a) != len(b) {
+		return false
+	}
+	sort.Strings(a)
+	sort.Strings(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Entails reports whether p logically entails q, i.e. every answer of p is
+// an answer of q on every structure.  By Theorem 2.3 this holds iff there
+// is a homomorphism aug(q) → aug(p).  Both formulas must share the same
+// liberal variable names and signature.
+func Entails(p, q PP) (bool, error) {
+	if !p.A.Signature().Equal(q.A.Signature()) {
+		return false, fmt.Errorf("pp: entailment across different signatures")
+	}
+	if !sameLibNames(p, q) {
+		return false, fmt.Errorf("pp: entailment requires identical liberal variables (got %v vs %v)", p.LibNames(), q.LibNames())
+	}
+	ap, err := p.Aug()
+	if err != nil {
+		return false, err
+	}
+	aq, err := q.Aug()
+	if err != nil {
+		return false, err
+	}
+	// Signatures of the two augmented structures coincide because the
+	// liberal names coincide.
+	aq2, err := aq.WithSignature(ap.Signature())
+	if err != nil {
+		return false, err
+	}
+	return hom.Exists(aq2, ap, hom.Options{}), nil
+}
+
+// LogicallyEquivalent reports mutual entailment (Theorem 2.3).
+func LogicallyEquivalent(p, q PP) (bool, error) {
+	pq, err := Entails(p, q)
+	if err != nil || !pq {
+		return false, err
+	}
+	return Entails(q, p)
+}
+
+// Core returns the core of the pp-formula: the core of its augmented
+// structure (Section 2.1), re-expressed over the original vocabulary.
+// The liberal variables are always retained (their pinning relations force
+// every endomorphism to fix them), so the result is again a pp-formula
+// with the same liberal variables, logically equivalent to p.
+func (p PP) Core() (PP, error) {
+	aug, err := p.Aug()
+	if err != nil {
+		return PP{}, err
+	}
+	core := coreOf(aug)
+	plain, err := core.ProjectSignature(p.A.Signature())
+	if err != nil {
+		return PP{}, err
+	}
+	var s []int
+	for _, v := range p.S {
+		idx := plain.ElemIndex(p.A.ElemName(v))
+		if idx < 0 {
+			return PP{}, fmt.Errorf("pp: core lost liberal variable %s", p.A.ElemName(v))
+		}
+		s = append(s, idx)
+	}
+	return New(plain, s)
+}
+
+// coreOf computes the core of a structure by iterated proper retraction:
+// while some homomorphism X → X[X∖{v}] exists, restrict X to the image.
+func coreOf(x *structure.Structure) *structure.Structure {
+	for {
+		improved := false
+		for v := 0; v < x.Size() && !improved; v++ {
+			keep := make([]int, 0, x.Size()-1)
+			for u := 0; u < x.Size(); u++ {
+				if u != v {
+					keep = append(keep, u)
+				}
+			}
+			sub, old2new := x.Induced(keep)
+			// Hom X → sub; express as hom X → X with codomain restricted.
+			h, ok := hom.Find(x, sub, hom.Options{})
+			if !ok {
+				continue
+			}
+			// Image of h in sub; restrict sub to image (h is X → sub, its
+			// image is a retract of X by composing with inclusion).
+			imgSet := make(map[int]bool)
+			for _, b := range h {
+				imgSet[b] = true
+			}
+			img := make([]int, 0, len(imgSet))
+			for b := range imgSet {
+				img = append(img, b)
+			}
+			img = hom.SortElems(img)
+			x, _ = sub.Induced(img)
+			improved = true
+			_ = old2new
+		}
+		if !improved {
+			return x
+		}
+	}
+}
+
+// ExistsComponent is an ∃-component of a pp-formula (Section 2.4): the
+// vertex set of a component of G[D∖S] in the core D, extended by the
+// liberal vertices adjacent to it.
+type ExistsComponent struct {
+	Vertices  []int // indices into the cored formula's structure
+	Interface []int // Vertices ∩ S (the adjacent liberal variables)
+}
+
+// ExistsComponents returns the ∃-components of the *cored* formula d
+// (call Core first; the definition in Section 2.4 is on the core).
+func ExistsComponents(d PP) []ExistsComponent {
+	g := d.Graph()
+	inS := d.sSet()
+	var quantified []int
+	for v := 0; v < d.A.Size(); v++ {
+		if !inS[v] {
+			quantified = append(quantified, v)
+		}
+	}
+	sub, old := g.Subgraph(quantified)
+	var out []ExistsComponent
+	for _, c := range sub.Components() {
+		compSet := make(map[int]bool)
+		var verts []int
+		for _, nv := range c {
+			compSet[old[nv]] = true
+			verts = append(verts, old[nv])
+		}
+		ifaceSet := make(map[int]bool)
+		for _, v := range verts {
+			for _, u := range g.Neighbors(v) {
+				if inS[u] {
+					ifaceSet[u] = true
+				}
+			}
+		}
+		var iface []int
+		for u := range ifaceSet {
+			iface = append(iface, u)
+		}
+		iface = hom.SortElems(iface)
+		out = append(out, ExistsComponent{
+			Vertices:  append(hom.SortElems(verts), iface...),
+			Interface: iface,
+		})
+	}
+	return out
+}
+
+// ContractGraph returns contract(A,S) of the *cored* formula d: the graph
+// on S obtained from G[S] by adding an edge between any two liberal
+// vertices appearing together in an ∃-component (Section 2.4).  The
+// returned graph's vertex i corresponds to d.S[i]; the mapping is also
+// returned.
+func ContractGraph(d PP) (*graph.Graph, []int) {
+	g := d.Graph()
+	posOf := make(map[int]int, len(d.S))
+	for i, v := range d.S {
+		posOf[v] = i
+	}
+	cg := graph.New(len(d.S))
+	for i, v := range d.S {
+		for _, u := range g.Neighbors(v) {
+			if j, ok := posOf[u]; ok && j > i {
+				cg.AddEdge(i, j)
+			}
+		}
+	}
+	for _, ec := range ExistsComponents(d) {
+		idx := make([]int, 0, len(ec.Interface))
+		for _, v := range ec.Interface {
+			idx = append(idx, posOf[v])
+		}
+		cg.AddClique(idx)
+	}
+	return cg, append([]int(nil), d.S...)
+}
+
+// Conjoin returns the conjunction of the given pp-formulas, which must all
+// share the same liberal variable names and signature: liberal variables
+// are identified by name, quantified variables are renamed apart.  This is
+// the φ_J = ⋀_{j∈J} φ_j construction of the inclusion–exclusion argument
+// (Section 5.3).
+func Conjoin(ps ...PP) (PP, error) {
+	if len(ps) == 0 {
+		return PP{}, fmt.Errorf("pp: empty conjunction")
+	}
+	sig := ps[0].A.Signature()
+	out := structure.New(sig)
+	var s []int
+	libIdx := make(map[string]int)
+	for _, v := range ps[0].S {
+		name := ps[0].A.ElemName(v)
+		i, err := out.AddElem(name)
+		if err != nil {
+			return PP{}, err
+		}
+		libIdx[name] = i
+		s = append(s, i)
+	}
+	for k, p := range ps {
+		if !p.A.Signature().Equal(sig) {
+			return PP{}, fmt.Errorf("pp: conjunction across different signatures")
+		}
+		if !sameLibNames(p, ps[0]) {
+			return PP{}, fmt.Errorf("pp: conjunction requires identical liberal variables")
+		}
+		// Map each element of p into out.
+		m := make([]int, p.A.Size())
+		inS := p.sSet()
+		for v := 0; v < p.A.Size(); v++ {
+			if inS[v] {
+				m[v] = libIdx[p.A.ElemName(v)]
+			} else {
+				m[v] = out.FreshElem(fmt.Sprintf("%s~%d", p.A.ElemName(v), k))
+			}
+		}
+		for _, r := range sig.Rels() {
+			for _, t := range p.A.Tuples(r.Name) {
+				nt := make([]int, len(t))
+				for j, v := range t {
+					nt[j] = m[v]
+				}
+				if err := out.AddTuple(r.Name, nt...); err != nil {
+					return PP{}, err
+				}
+			}
+		}
+	}
+	return New(out, s)
+}
+
+// InvariantKey is a cheap renaming-invariant bucket key used to prefilter
+// counting-equivalence tests.
+func (p PP) InvariantKey() string {
+	inS := p.sSet()
+	deg := make([]int, p.A.Size())
+	for _, r := range p.A.Signature().Rels() {
+		for _, t := range p.A.Tuples(r.Name) {
+			for _, v := range t {
+				deg[v]++
+			}
+		}
+	}
+	var sDeg, qDeg []int
+	for v := 0; v < p.A.Size(); v++ {
+		if inS[v] {
+			sDeg = append(sDeg, deg[v])
+		} else {
+			qDeg = append(qDeg, deg[v])
+		}
+	}
+	sort.Ints(sDeg)
+	sort.Ints(qDeg)
+	return fmt.Sprintf("%s|s=%v|q=%v", p.A.Fingerprint(), sDeg, qDeg)
+}

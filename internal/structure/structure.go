@@ -1,0 +1,428 @@
+package structure
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Structure is a finite relational structure: a non-empty universe of named
+// elements plus, for each relation symbol of the signature, a set of tuples
+// over the universe.  Elements are addressed by dense integer indices;
+// names exist for I/O and for carrying variable identities in the
+// formula-as-structure view used throughout the paper.
+type Structure struct {
+	sig   *Signature
+	elems []string
+	index map[string]int
+
+	tuples map[string][][]int         // relation name -> tuple list, insertion order
+	seen   map[string]map[string]bool // relation name -> tuple key -> present
+
+	// posIdx is a lazily built positional index guarded by posMu, making
+	// read-only use of a structure safe from concurrent goroutines
+	// (mutation via AddTuple/AddFact must still be single-threaded).
+	posMu  sync.Mutex
+	posIdx map[string][]map[int][]int // relation name -> position -> value -> tuple indices
+}
+
+// New returns an empty structure over sig.  Note that a structure must have
+// at least one element before it is used for counting; Validate enforces
+// this.
+func New(sig *Signature) *Structure {
+	return &Structure{
+		sig:    sig,
+		index:  make(map[string]int),
+		tuples: make(map[string][][]int),
+		seen:   make(map[string]map[string]bool),
+	}
+}
+
+// Signature returns the structure's signature.
+func (s *Structure) Signature() *Signature { return s.sig }
+
+// Size returns the number of elements in the universe.
+func (s *Structure) Size() int { return len(s.elems) }
+
+// ElemName returns the name of element i.
+func (s *Structure) ElemName(i int) string { return s.elems[i] }
+
+// ElemNames returns a copy of all element names in index order.
+func (s *Structure) ElemNames() []string {
+	out := make([]string, len(s.elems))
+	copy(out, s.elems)
+	return out
+}
+
+// ElemIndex returns the index of the named element, or -1.
+func (s *Structure) ElemIndex(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// HasElem reports whether the named element exists.
+func (s *Structure) HasElem(name string) bool {
+	_, ok := s.index[name]
+	return ok
+}
+
+// AddElem adds a new element and returns its index.  Adding an existing
+// name is an error.
+func (s *Structure) AddElem(name string) (int, error) {
+	if name == "" {
+		return 0, fmt.Errorf("structure: empty element name")
+	}
+	if _, dup := s.index[name]; dup {
+		return 0, fmt.Errorf("structure: duplicate element %q", name)
+	}
+	i := len(s.elems)
+	s.elems = append(s.elems, name)
+	s.index[name] = i
+	return i, nil
+}
+
+// EnsureElem returns the index of the named element, adding it if absent.
+func (s *Structure) EnsureElem(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	i, _ := s.AddElem(name)
+	return i
+}
+
+// FreshElem adds an element whose name starts with prefix and does not
+// collide with any existing element, returning its index.
+func (s *Structure) FreshElem(prefix string) int {
+	name := prefix
+	for n := 0; s.HasElem(name); n++ {
+		name = prefix + "#" + strconv.Itoa(n)
+	}
+	i, _ := s.AddElem(name)
+	return i
+}
+
+func tupleKey(t []int) string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}
+
+// AddTuple adds the tuple (given by element indices) to relation rel.
+// Duplicate tuples are ignored.  It is an error if the relation is unknown,
+// the arity mismatches, or an index is out of range.
+func (s *Structure) AddTuple(rel string, t ...int) error {
+	ar, ok := s.sig.Arity(rel)
+	if !ok {
+		return fmt.Errorf("structure: unknown relation %q", rel)
+	}
+	if len(t) != ar {
+		return fmt.Errorf("structure: relation %s expects arity %d, got %d", rel, ar, len(t))
+	}
+	for _, v := range t {
+		if v < 0 || v >= len(s.elems) {
+			return fmt.Errorf("structure: element index %d out of range in %s-tuple", v, rel)
+		}
+	}
+	key := tupleKey(t)
+	set := s.seen[rel]
+	if set == nil {
+		set = make(map[string]bool)
+		s.seen[rel] = set
+	}
+	if set[key] {
+		return nil
+	}
+	set[key] = true
+	tt := make([]int, len(t))
+	copy(tt, t)
+	s.tuples[rel] = append(s.tuples[rel], tt)
+	s.posMu.Lock()
+	s.posIdx = nil // invalidate lazy index
+	s.posMu.Unlock()
+	return nil
+}
+
+// AddFact adds a tuple given by element names, creating elements as needed.
+func (s *Structure) AddFact(rel string, names ...string) error {
+	t := make([]int, len(names))
+	for i, n := range names {
+		t[i] = s.EnsureElem(n)
+	}
+	return s.AddTuple(rel, t...)
+}
+
+// HasTuple reports whether the tuple is in relation rel.
+func (s *Structure) HasTuple(rel string, t []int) bool {
+	set := s.seen[rel]
+	if set == nil {
+		return false
+	}
+	return set[tupleKey(t)]
+}
+
+// Tuples returns the tuples of relation rel (shared backing slices:
+// callers must not modify the returned tuples).
+func (s *Structure) Tuples(rel string) [][]int { return s.tuples[rel] }
+
+// NumTuples returns the total number of tuples across all relations.
+func (s *Structure) NumTuples() int {
+	n := 0
+	for _, ts := range s.tuples {
+		n += len(ts)
+	}
+	return n
+}
+
+// TuplesWith returns the tuples of rel whose position pos holds value v,
+// using a lazily built index.
+func (s *Structure) TuplesWith(rel string, pos, v int) [][]int {
+	s.posMu.Lock()
+	if s.posIdx == nil {
+		s.buildPosIdx()
+	}
+	byPos := s.posIdx[rel]
+	s.posMu.Unlock()
+	if byPos == nil || pos >= len(byPos) {
+		return nil
+	}
+	idxs := byPos[pos][v]
+	if len(idxs) == 0 {
+		return nil
+	}
+	ts := s.tuples[rel]
+	out := make([][]int, len(idxs))
+	for i, j := range idxs {
+		out[i] = ts[j]
+	}
+	return out
+}
+
+func (s *Structure) buildPosIdx() {
+	s.posIdx = make(map[string][]map[int][]int, len(s.tuples))
+	for _, r := range s.sig.rels {
+		ts := s.tuples[r.Name]
+		byPos := make([]map[int][]int, r.Arity)
+		for p := 0; p < r.Arity; p++ {
+			byPos[p] = make(map[int][]int)
+		}
+		for j, t := range ts {
+			for p, v := range t {
+				byPos[p][v] = append(byPos[p][v], j)
+			}
+		}
+		s.posIdx[r.Name] = byPos
+	}
+}
+
+// Validate checks the structure invariants (non-empty universe).
+func (s *Structure) Validate() error {
+	if len(s.elems) == 0 {
+		return fmt.Errorf("structure: empty universe")
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the structure.
+func (s *Structure) Clone() *Structure {
+	c := New(s.sig)
+	for _, name := range s.elems {
+		_, _ = c.AddElem(name)
+	}
+	for _, r := range s.sig.rels {
+		for _, t := range s.tuples[r.Name] {
+			_ = c.AddTuple(r.Name, t...)
+		}
+	}
+	return c
+}
+
+// Induced returns the substructure induced on the given element indices
+// (keeping only tuples entirely within the subset), along with a map from
+// old indices to new indices (-1 for dropped elements).
+func (s *Structure) Induced(keep []int) (*Structure, []int) {
+	inSet := make([]bool, len(s.elems))
+	for _, v := range keep {
+		inSet[v] = true
+	}
+	old2new := make([]int, len(s.elems))
+	for i := range old2new {
+		old2new[i] = -1
+	}
+	out := New(s.sig)
+	// Preserve original index order for determinism.
+	for i, name := range s.elems {
+		if inSet[i] {
+			ni, _ := out.AddElem(name)
+			old2new[i] = ni
+		}
+	}
+	for _, r := range s.sig.rels {
+	tupleLoop:
+		for _, t := range s.tuples[r.Name] {
+			nt := make([]int, len(t))
+			for j, v := range t {
+				if !inSet[v] {
+					continue tupleLoop
+				}
+				nt[j] = old2new[v]
+			}
+			_ = out.AddTuple(r.Name, nt...)
+		}
+	}
+	return out, old2new
+}
+
+// RenameElems returns a copy whose element i is named names[i].
+func (s *Structure) RenameElems(names []string) (*Structure, error) {
+	if len(names) != len(s.elems) {
+		return nil, fmt.Errorf("structure: rename needs %d names, got %d", len(s.elems), len(names))
+	}
+	out := New(s.sig)
+	for _, n := range names {
+		if _, err := out.AddElem(n); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range s.sig.rels {
+		for _, t := range s.tuples[r.Name] {
+			_ = out.AddTuple(r.Name, t...)
+		}
+	}
+	return out, nil
+}
+
+// WithSignature reinterprets the structure over a different signature that
+// must contain every relation the structure actually uses; relations of the
+// new signature that the structure lacks are empty.  Used to move between a
+// vocabulary and its augmented extension.
+func (s *Structure) WithSignature(sig *Signature) (*Structure, error) {
+	out := New(sig)
+	for _, name := range s.elems {
+		_, _ = out.AddElem(name)
+	}
+	for _, r := range s.sig.rels {
+		ts := s.tuples[r.Name]
+		if len(ts) == 0 {
+			continue
+		}
+		ar, ok := sig.Arity(r.Name)
+		if !ok {
+			return nil, fmt.Errorf("structure: new signature lacks used relation %s", r.Name)
+		}
+		if ar != r.Arity {
+			return nil, fmt.Errorf("structure: relation %s arity mismatch (%d vs %d)", r.Name, r.Arity, ar)
+		}
+		for _, t := range ts {
+			_ = out.AddTuple(r.Name, t...)
+		}
+	}
+	return out, nil
+}
+
+// ProjectSignature returns a copy of the structure over sig, keeping only
+// the relations sig knows about and dropping the rest (the inverse of the
+// augmentation step: it strips pinning relations).
+func (s *Structure) ProjectSignature(sig *Signature) (*Structure, error) {
+	out := New(sig)
+	for _, name := range s.elems {
+		_, _ = out.AddElem(name)
+	}
+	for _, r := range sig.rels {
+		ar, ok := s.sig.Arity(r.Name)
+		if !ok {
+			continue
+		}
+		if ar != r.Arity {
+			return nil, fmt.Errorf("structure: relation %s arity mismatch (%d vs %d)", r.Name, ar, r.Arity)
+		}
+		for _, t := range s.tuples[r.Name] {
+			_ = out.AddTuple(r.Name, t...)
+		}
+	}
+	return out, nil
+}
+
+// IsAllLoop reports whether element e carries the "all loops" pattern:
+// for every relation R of arity k, the tuple (e,...,e) is present.
+func (s *Structure) IsAllLoop(e int) bool {
+	for _, r := range s.sig.rels {
+		t := make([]int, r.Arity)
+		for i := range t {
+			t[i] = e
+		}
+		if !s.HasTuple(r.Name, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// HasAllLoopElem reports whether some element carries all loops.  Every
+// pp-formula has at least one answer on such a structure, a property the
+// distinguishing-structure lemmas (5.12/5.13) rely on.
+func (s *Structure) HasAllLoopElem() bool {
+	for e := range s.elems {
+		if s.IsAllLoop(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// Fingerprint returns a cheap isomorphism-invariant summary used to bucket
+// structures before expensive equivalence tests.
+func (s *Structure) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d", len(s.elems))
+	for _, r := range s.sig.rels {
+		fmt.Fprintf(&b, ";%s=%d", r.Name, len(s.tuples[r.Name]))
+	}
+	// Degree multiset: number of tuple-slots each element occupies.
+	deg := make([]int, len(s.elems))
+	for _, ts := range s.tuples {
+		for _, t := range ts {
+			for _, v := range t {
+				deg[v]++
+			}
+		}
+	}
+	sort.Ints(deg)
+	b.WriteString(";deg=")
+	for i, d := range deg {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(d))
+	}
+	return b.String()
+}
+
+// String renders the structure in fact syntax, elements listed first.
+func (s *Structure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "universe {%s}", strings.Join(s.elems, ", "))
+	for _, r := range s.sig.rels {
+		for _, t := range s.tuples[r.Name] {
+			b.WriteString("; ")
+			b.WriteString(r.Name)
+			b.WriteByte('(')
+			for i, v := range t {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(s.elems[v])
+			}
+			b.WriteByte(')')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,55 @@
+package tw
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Beyond the exact-search cap the result must be flagged heuristic and
+// the decomposition must still validate.
+func TestHeuristicFallbackBeyondCap(t *testing.T) {
+	n := exactLimit + 6
+	rng := rand.New(rand.NewSource(5))
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.2 {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	w, dec, exact := Treewidth(g)
+	if exact {
+		t.Fatalf("graphs with %d > %d vertices must report heuristic widths", n, exactLimit)
+	}
+	if err := dec.Validate(g); err != nil {
+		t.Fatalf("fallback decomposition invalid: %v", err)
+	}
+	if dec.Width() != w {
+		t.Fatalf("width mismatch: %d vs %d", dec.Width(), w)
+	}
+	if w < LowerBoundMMD(g) {
+		t.Fatalf("heuristic width %d below the MMD lower bound %d", w, LowerBoundMMD(g))
+	}
+}
+
+// The elimination-order width search must respect the requested bound.
+func TestElimOrderWidthBound(t *testing.T) {
+	g := complete(5) // treewidth 4
+	if _, ok := elimOrderWithWidth(g, 3); ok {
+		t.Fatal("K5 must not admit a width-3 elimination order")
+	}
+	order, ok := elimOrderWithWidth(g, 4)
+	if !ok {
+		t.Fatal("K5 must admit a width-4 elimination order")
+	}
+	dec := FromEliminationOrder(g, order)
+	if err := dec.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if dec.Width() != 4 {
+		t.Fatalf("width = %d, want 4", dec.Width())
+	}
+}

@@ -1,0 +1,385 @@
+// Package tw computes tree decompositions and treewidth.  The paper's
+// tractability and contraction conditions (Section 2.4) are stated in
+// terms of the treewidth of query-derived graphs, which are tiny (their
+// size is bounded by the parameter), so an exact branch-and-bound over
+// elimination orders is affordable; greedy heuristics (min-fill,
+// min-degree) provide upper bounds and decompositions for larger graphs,
+// and MMD (maximum minimum degree) provides a lower bound.
+package tw
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Decomposition is a tree decomposition: bags of vertices connected by
+// tree edges (parent[i] is the parent bag of bag i; parent[root] = -1).
+type Decomposition struct {
+	Bags   [][]int
+	Parent []int
+}
+
+// Width returns the width of the decomposition (max bag size - 1).
+func (d *Decomposition) Width() int {
+	w := 0
+	for _, b := range d.Bags {
+		if len(b) > w {
+			w = len(b)
+		}
+	}
+	return w - 1
+}
+
+// Validate checks the three tree-decomposition conditions against g:
+// every vertex is in some bag, every edge is inside some bag, and for each
+// vertex the bags containing it form a connected subtree.
+func (d *Decomposition) Validate(g *graph.Graph) error {
+	if len(d.Bags) == 0 {
+		return fmt.Errorf("tw: empty decomposition")
+	}
+	if len(d.Parent) != len(d.Bags) {
+		return fmt.Errorf("tw: parent/bags length mismatch")
+	}
+	roots := 0
+	for i, p := range d.Parent {
+		if p == -1 {
+			roots++
+		} else if p < 0 || p >= len(d.Bags) || p == i {
+			return fmt.Errorf("tw: bad parent %d for bag %d", p, i)
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("tw: expected exactly one root, found %d", roots)
+	}
+	inBag := make([]map[int]bool, len(d.Bags))
+	covered := make([]bool, g.N())
+	for i, b := range d.Bags {
+		inBag[i] = make(map[int]bool, len(b))
+		for _, v := range b {
+			if v < 0 || v >= g.N() {
+				return fmt.Errorf("tw: bag %d contains out-of-range vertex %d", i, v)
+			}
+			inBag[i][v] = true
+			covered[v] = true
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if !covered[v] {
+			return fmt.Errorf("tw: vertex %d in no bag", v)
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if u < v {
+				continue
+			}
+			ok := false
+			for i := range d.Bags {
+				if inBag[i][v] && inBag[i][u] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("tw: edge {%d,%d} in no bag", v, u)
+			}
+		}
+	}
+	// Connectivity: for each vertex, bags containing it must form a subtree.
+	children := make([][]int, len(d.Bags))
+	root := -1
+	for i, p := range d.Parent {
+		if p == -1 {
+			root = i
+		} else {
+			children[p] = append(children[p], i)
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		// Count connected groups of bags containing v via one tree walk.
+		groups := 0
+		var walk func(i int, inGroup bool)
+		walk = func(i int, inGroup bool) {
+			has := inBag[i][v]
+			if has && !inGroup {
+				groups++
+			}
+			for _, c := range children[i] {
+				walk(c, has)
+			}
+		}
+		walk(root, false)
+		if groups > 1 {
+			return fmt.Errorf("tw: bags containing vertex %d are disconnected", v)
+		}
+	}
+	return nil
+}
+
+// FromEliminationOrder builds a tree decomposition from an elimination
+// order using the standard fill-in construction.  Bag i contains order[i]
+// plus its higher-ordered neighbors in the fill graph; bag i's parent is
+// the bag of the lowest-ordered vertex among those neighbors.
+func FromEliminationOrder(g *graph.Graph, order []int) *Decomposition {
+	n := g.N()
+	if n == 0 {
+		return &Decomposition{Bags: [][]int{{}}, Parent: []int{-1}}
+	}
+	pos := make([]int, n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	// Fill graph: adjacency sets we mutate while eliminating.
+	adj := make([]map[int]bool, n)
+	for v := 0; v < n; v++ {
+		adj[v] = make(map[int]bool)
+		for _, u := range g.Neighbors(v) {
+			adj[v][u] = true
+		}
+	}
+	bags := make([][]int, n)
+	bagOf := make([]int, n) // vertex -> index of its bag
+	for i, v := range order {
+		var later []int
+		for u := range adj[v] {
+			if pos[u] > i {
+				later = append(later, u)
+			}
+		}
+		sort.Ints(later)
+		bag := append([]int{v}, later...)
+		sort.Ints(bag)
+		bags[i] = bag
+		bagOf[v] = i
+		// Connect later neighbors into a clique.
+		for a := 0; a < len(later); a++ {
+			for b := a + 1; b < len(later); b++ {
+				adj[later[a]][later[b]] = true
+				adj[later[b]][later[a]] = true
+			}
+		}
+	}
+	parent := make([]int, n)
+	for i, v := range order {
+		parent[i] = -1
+		// Parent is the bag of the earliest-eliminated later neighbor.
+		best := -1
+		for _, u := range bags[i] {
+			if u == v {
+				continue
+			}
+			if best == -1 || pos[u] < pos[best] {
+				best = u
+			}
+		}
+		if best != -1 {
+			parent[i] = bagOf[best]
+		}
+	}
+	// Multiple roots arise for disconnected graphs; link extra roots to the
+	// first root through an empty-intersection edge (still a valid tree
+	// decomposition since shared vertices are none).
+	firstRoot := -1
+	for i := range parent {
+		if parent[i] == -1 {
+			if firstRoot == -1 {
+				firstRoot = i
+			} else {
+				parent[i] = firstRoot
+			}
+		}
+	}
+	return &Decomposition{Bags: bags, Parent: parent}
+}
+
+// MinFillOrder returns an elimination order chosen greedily by minimum
+// fill-in (ties broken by minimum degree, then index).
+func MinFillOrder(g *graph.Graph) []int {
+	n := g.N()
+	adj := make([]map[int]bool, n)
+	for v := 0; v < n; v++ {
+		adj[v] = make(map[int]bool)
+		for _, u := range g.Neighbors(v) {
+			adj[v][u] = true
+		}
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	order := make([]int, 0, n)
+	for len(order) < n {
+		best, bestFill, bestDeg := -1, 1<<30, 1<<30
+		for v := 0; v < n; v++ {
+			if !alive[v] {
+				continue
+			}
+			var nbrs []int
+			for u := range adj[v] {
+				if alive[u] {
+					nbrs = append(nbrs, u)
+				}
+			}
+			fill := 0
+			for a := 0; a < len(nbrs); a++ {
+				for b := a + 1; b < len(nbrs); b++ {
+					if !adj[nbrs[a]][nbrs[b]] {
+						fill++
+					}
+				}
+			}
+			if fill < bestFill || (fill == bestFill && len(nbrs) < bestDeg) {
+				best, bestFill, bestDeg = v, fill, len(nbrs)
+			}
+		}
+		order = append(order, best)
+		alive[best] = false
+		var nbrs []int
+		for u := range adj[best] {
+			if alive[u] {
+				nbrs = append(nbrs, u)
+			}
+		}
+		for a := 0; a < len(nbrs); a++ {
+			for b := a + 1; b < len(nbrs); b++ {
+				adj[nbrs[a]][nbrs[b]] = true
+				adj[nbrs[b]][nbrs[a]] = true
+			}
+		}
+	}
+	return order
+}
+
+// HeuristicDecomposition returns a min-fill tree decomposition.
+func HeuristicDecomposition(g *graph.Graph) *Decomposition {
+	return FromEliminationOrder(g, MinFillOrder(g))
+}
+
+// LowerBoundMMD returns the maximum-minimum-degree treewidth lower bound.
+func LowerBoundMMD(g *graph.Graph) int {
+	n := g.N()
+	deg := make([]int, n)
+	alive := make([]bool, n)
+	adj := make([]map[int]bool, n)
+	for v := 0; v < n; v++ {
+		alive[v] = true
+		adj[v] = make(map[int]bool)
+		for _, u := range g.Neighbors(v) {
+			adj[v][u] = true
+		}
+		deg[v] = len(adj[v])
+	}
+	lb, remaining := 0, n
+	for remaining > 0 {
+		best, bestDeg := -1, 1<<30
+		for v := 0; v < n; v++ {
+			if alive[v] && deg[v] < bestDeg {
+				best, bestDeg = v, deg[v]
+			}
+		}
+		if bestDeg > lb {
+			lb = bestDeg
+		}
+		alive[best] = false
+		remaining--
+		for u := range adj[best] {
+			if alive[u] {
+				deg[u]--
+			}
+		}
+	}
+	return lb
+}
+
+// exactLimit caps the exact search; beyond it Treewidth falls back to the
+// min-fill heuristic (query graphs never get close).
+const exactLimit = 24
+
+// Treewidth returns the treewidth of g together with a witnessing
+// decomposition.  Exact for graphs with at most exactLimit vertices,
+// min-fill upper bound beyond that (exact flag reports which).
+func Treewidth(g *graph.Graph) (width int, dec *Decomposition, exact bool) {
+	if g.N() == 0 {
+		return -1, &Decomposition{Bags: [][]int{{}}, Parent: []int{-1}}, true
+	}
+	heur := HeuristicDecomposition(g)
+	ub := heur.Width()
+	if g.N() > exactLimit {
+		return ub, heur, false
+	}
+	lb := LowerBoundMMD(g)
+	if lb >= ub {
+		return ub, heur, true
+	}
+	// Iterative tightening: test each candidate width k from lb upward.
+	for k := lb; k < ub; k++ {
+		if order, ok := elimOrderWithWidth(g, k); ok {
+			return k, FromEliminationOrder(g, order), true
+		}
+	}
+	return ub, heur, true
+}
+
+// elimOrderWithWidth searches for an elimination order of width ≤ k using
+// depth-first search over vertex subsets with memoization (the QuickBB
+// core).  Vertex sets are bitmasks, so this handles n ≤ exactLimit.
+func elimOrderWithWidth(g *graph.Graph, k int) ([]int, bool) {
+	n := g.N()
+	type state = uint32
+	full := state(1)<<n - 1
+	baseAdj := make([]state, n)
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			baseAdj[v] |= 1 << u
+		}
+	}
+	// In the eliminated-set model, the current degree of v given eliminated
+	// set S is |reach(v, S)|: neighbors of v reachable through eliminated
+	// vertices. This equals the fill-graph degree.
+	reach := func(v int, elim state) state {
+		seen := state(1 << v)
+		frontier := baseAdj[v]
+		var res state
+		for frontier != 0 {
+			u := bits.TrailingZeros32(uint32(frontier))
+			frontier &^= 1 << u
+			if seen&(1<<u) != 0 {
+				continue
+			}
+			seen |= 1 << u
+			if elim&(1<<u) != 0 {
+				frontier |= baseAdj[u] &^ seen
+			} else {
+				res |= 1 << u
+			}
+		}
+		return res
+	}
+	memoFail := make(map[state]bool)
+	var rec func(elim state, order []int) ([]int, bool)
+	rec = func(elim state, order []int) ([]int, bool) {
+		if elim == full {
+			return order, true
+		}
+		if memoFail[elim] {
+			return nil, false
+		}
+		for v := 0; v < n; v++ {
+			if elim&(1<<v) != 0 {
+				continue
+			}
+			r := reach(v, elim)
+			if bits.OnesCount32(uint32(r)) <= k {
+				if res, ok := rec(elim|1<<v, append(order, v)); ok {
+					return res, true
+				}
+			}
+		}
+		memoFail[elim] = true
+		return nil, false
+	}
+	return rec(0, make([]int, 0, n))
+}

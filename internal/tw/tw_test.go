@@ -1,0 +1,169 @@
+package tw
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func path(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func cycle(n int) *graph.Graph {
+	g := path(n)
+	g.AddEdge(n-1, 0)
+	return g
+}
+
+func complete(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+func grid(r, c int) *graph.Graph {
+	g := graph.New(r * c)
+	id := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				g.AddEdge(id(i, j), id(i, j+1))
+			}
+			if i+1 < r {
+				g.AddEdge(id(i, j), id(i+1, j))
+			}
+		}
+	}
+	return g
+}
+
+func TestTreewidthKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"empty-3", graph.New(3), 0},
+		{"single", graph.New(1), 0},
+		{"path-6", path(6), 1},
+		{"cycle-5", cycle(5), 2},
+		{"K4", complete(4), 3},
+		{"K7", complete(7), 6},
+		{"grid-3x3", grid(3, 3), 3},
+		{"grid-2x4", grid(2, 4), 2},
+	}
+	for _, c := range cases {
+		w, dec, exact := Treewidth(c.g)
+		if !exact {
+			t.Errorf("%s: expected exact result", c.name)
+		}
+		if w != c.want {
+			t.Errorf("%s: treewidth = %d, want %d", c.name, w, c.want)
+		}
+		if err := dec.Validate(c.g); err != nil {
+			t.Errorf("%s: invalid decomposition: %v", c.name, err)
+		}
+		if dec.Width() != w {
+			t.Errorf("%s: decomposition width %d != reported %d", c.name, dec.Width(), w)
+		}
+	}
+}
+
+func TestHeuristicValid(t *testing.T) {
+	for _, g := range []*graph.Graph{path(10), cycle(8), grid(3, 4), complete(6)} {
+		dec := HeuristicDecomposition(g)
+		if err := dec.Validate(g); err != nil {
+			t.Fatalf("heuristic decomposition invalid: %v", err)
+		}
+	}
+}
+
+func TestLowerBoundMMD(t *testing.T) {
+	if lb := LowerBoundMMD(complete(5)); lb != 4 {
+		t.Fatalf("MMD(K5) = %d, want 4", lb)
+	}
+	if lb := LowerBoundMMD(path(7)); lb != 1 {
+		t.Fatalf("MMD(path) = %d, want 1", lb)
+	}
+	if lb := LowerBoundMMD(cycle(6)); lb != 2 {
+		t.Fatalf("MMD(cycle) = %d, want 2", lb)
+	}
+}
+
+func TestValidateCatchesBadDecompositions(t *testing.T) {
+	g := path(3)
+	// Vertex missing.
+	d := &Decomposition{Bags: [][]int{{0, 1}}, Parent: []int{-1}}
+	if err := d.Validate(g); err == nil {
+		t.Fatal("missing vertex not caught")
+	}
+	// Edge missing.
+	d = &Decomposition{Bags: [][]int{{0, 1}, {2}}, Parent: []int{-1, 0}}
+	if err := d.Validate(g); err == nil {
+		t.Fatal("missing edge not caught")
+	}
+	// Disconnected occurrence of vertex 0.
+	d = &Decomposition{Bags: [][]int{{0, 1}, {1, 2}, {0}}, Parent: []int{-1, 0, 1}}
+	if err := d.Validate(g); err == nil {
+		t.Fatal("disconnected vertex occurrences not caught")
+	}
+	// Two roots.
+	d = &Decomposition{Bags: [][]int{{0, 1}, {1, 2}}, Parent: []int{-1, -1}}
+	if err := d.Validate(g); err == nil {
+		t.Fatal("multiple roots not caught")
+	}
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	g := graph.New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(3, 4)
+	w, dec, exact := Treewidth(g)
+	if w != 1 || !exact {
+		t.Fatalf("tw = %d exact=%v, want 1 exact", w, exact)
+	}
+	if err := dec.Validate(g); err != nil {
+		t.Fatalf("decomposition invalid: %v", err)
+	}
+}
+
+// Property: on random graphs, the exact width is between the MMD lower
+// bound and the min-fill upper bound, and its decomposition validates.
+func TestTreewidthSandwichProperty(t *testing.T) {
+	f := func(n uint8, seed int64) bool {
+		size := int(n%7) + 2
+		g := graph.New(size)
+		s := seed
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				s = s*2862933555777941757 + 3037000493
+				if s%3 == 0 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		w, dec, exact := Treewidth(g)
+		if !exact {
+			return false
+		}
+		if err := dec.Validate(g); err != nil {
+			return false
+		}
+		lb := LowerBoundMMD(g)
+		ub := HeuristicDecomposition(g).Width()
+		return lb <= w && w <= ub
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

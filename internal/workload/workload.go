@@ -1,0 +1,348 @@
+// Package workload generates the synthetic structures and query families
+// used by the tests, examples and the experiment harness: random and
+// structured graphs encoded as binary structures, random relational
+// structures, random pp/ep queries, and the named query families whose
+// complexity the trichotomy classifies (paths: FPT; quantified cliques:
+// case 2; free cliques: case 3).  All randomness is seeded and
+// deterministic.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/logic"
+	"repro/internal/structure"
+)
+
+// EdgeSig is the one-binary-relation signature {E/2} used for graph
+// encodings.
+func EdgeSig() *structure.Signature {
+	return structure.MustSignature(structure.RelSym{Name: "E", Arity: 2})
+}
+
+// GraphStructure encodes an undirected graph as a structure over {E/2}
+// with both orientations of every edge (so pp-queries written with single
+// orientations behave symmetrically).
+func GraphStructure(g *graph.Graph) *structure.Structure {
+	s := structure.New(EdgeSig())
+	for v := 0; v < g.N(); v++ {
+		s.EnsureElem(fmt.Sprintf("v%d", v))
+	}
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(v) {
+			_ = s.AddTuple("E", v, u)
+		}
+	}
+	return s
+}
+
+// ER returns an Erdős–Rényi random graph G(n, p).
+func ER(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// PathGraph returns the path on n vertices.
+func PathGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// CycleGraph returns the cycle on n vertices (n ≥ 3).
+func CycleGraph(n int) *graph.Graph {
+	g := PathGraph(n)
+	if n >= 3 {
+		g.AddEdge(n-1, 0)
+	}
+	return g
+}
+
+// CompleteGraph returns K_n.
+func CompleteGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// GridGraph returns the r×c grid.
+func GridGraph(r, c int) *graph.Graph {
+	g := graph.New(r * c)
+	id := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				g.AddEdge(id(i, j), id(i, j+1))
+			}
+			if i+1 < r {
+				g.AddEdge(id(i, j), id(i+1, j))
+			}
+		}
+	}
+	return g
+}
+
+// PlantedClique returns G(n,p) with a planted k-clique on random vertices.
+func PlantedClique(n int, p float64, k int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := ER(n, p, seed+1)
+	perm := rng.Perm(n)
+	if k > n {
+		k = n
+	}
+	g.AddClique(perm[:k])
+	return g
+}
+
+// RandomStructure returns a structure over sig with n elements where each
+// possible tuple is present independently with probability density.
+func RandomStructure(sig *structure.Signature, n int, density float64, seed int64) *structure.Structure {
+	rng := rand.New(rand.NewSource(seed))
+	s := structure.New(sig)
+	for i := 0; i < n; i++ {
+		s.EnsureElem(fmt.Sprintf("e%d", i))
+	}
+	for _, r := range sig.Rels() {
+		t := make([]int, r.Arity)
+		var sweep func(p int)
+		sweep = func(p int) {
+			if p == r.Arity {
+				if rng.Float64() < density {
+					_ = s.AddTuple(r.Name, t...)
+				}
+				return
+			}
+			for v := 0; v < n; v++ {
+				t[p] = v
+				sweep(p + 1)
+			}
+		}
+		sweep(0)
+	}
+	return s
+}
+
+// PathQuery returns the length-L path query with free endpoints and
+// quantified interior:
+//
+//	p(s,t) := ∃u1..u_{L-1}. E(s,u1) ∧ E(u1,u2) ∧ … ∧ E(u_{L-1},t)
+//
+// Its core has treewidth 1 and its contract graph is a single edge {s,t},
+// so the family {PathQuery(L)} satisfies the tractability condition
+// (case 1 of Theorem 3.2).
+func PathQuery(length int) logic.Query {
+	if length < 1 {
+		panic("workload: path length must be ≥ 1")
+	}
+	vars := make([]logic.Var, length+1)
+	vars[0] = "s"
+	vars[length] = "t"
+	for i := 1; i < length; i++ {
+		vars[i] = logic.Var(fmt.Sprintf("u%d", i))
+	}
+	var atoms []logic.Formula
+	for i := 0; i < length; i++ {
+		atoms = append(atoms, logic.Atom{Rel: "E", Args: []logic.Var{vars[i], vars[i+1]}})
+	}
+	body := logic.Exist(vars[1:length], logic.Conj(atoms...))
+	return logic.MustQuery(fmt.Sprintf("path%d", length), []logic.Var{"s", "t"}, body)
+}
+
+// FreePathQuery returns the length-L path query with every vertex free:
+// counts homomorphic images of the path (walks).
+func FreePathQuery(length int) logic.Query {
+	vars := make([]logic.Var, length+1)
+	for i := range vars {
+		vars[i] = logic.Var(fmt.Sprintf("x%d", i))
+	}
+	var atoms []logic.Formula
+	for i := 0; i < length; i++ {
+		atoms = append(atoms, logic.Atom{Rel: "E", Args: []logic.Var{vars[i], vars[i+1]}})
+	}
+	return logic.MustQuery(fmt.Sprintf("fpath%d", length), vars, logic.Conj(atoms...))
+}
+
+// CliqueQuery returns the free k-clique query
+//
+//	c(x1..xk) := ⋀_{i<j} E(xi,xj)
+//
+// On a symmetric loop-free graph encoding its answer count is
+// k!·(#k-cliques), which makes the family {CliqueQuery(k)} hard for
+// p-#Clique (case 3 of Theorem 3.2: the contract graph is K_k).
+func CliqueQuery(k int) logic.Query {
+	vars := make([]logic.Var, k)
+	for i := range vars {
+		vars[i] = logic.Var(fmt.Sprintf("x%d", i+1))
+	}
+	var atoms []logic.Formula
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			atoms = append(atoms, logic.Atom{Rel: "E", Args: []logic.Var{vars[i], vars[j]}})
+		}
+	}
+	return logic.MustQuery(fmt.Sprintf("clique%d", k), vars, logic.Conj(atoms...))
+}
+
+// CliqueSentence returns the Boolean k-clique query
+//
+//	s() := ∃x1..xk ⋀_{i<j} E(xi,xj)
+//
+// All variables are quantified: the contract graph is empty (contraction
+// condition holds) but the core is K_k (treewidth k-1), so the family sits
+// in case 2 of Theorem 3.2 — equivalent to p-Clique.
+func CliqueSentence(k int) logic.Query {
+	vars := make([]logic.Var, k)
+	for i := range vars {
+		vars[i] = logic.Var(fmt.Sprintf("x%d", i+1))
+	}
+	var atoms []logic.Formula
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			atoms = append(atoms, logic.Atom{Rel: "E", Args: []logic.Var{vars[i], vars[j]}})
+		}
+	}
+	return logic.MustQuery(fmt.Sprintf("cliquesent%d", k), nil, logic.Exist(vars, logic.Conj(atoms...)))
+}
+
+// StarQuery returns the k-leaf star query with a quantified center:
+//
+//	s(x1..xk) := ∃c. ⋀_i E(c,xi)
+//
+// Its contract graph is K_k (all leaves share the center's ∃-component),
+// another canonical case-3 family.
+func StarQuery(k int) logic.Query {
+	vars := make([]logic.Var, k)
+	for i := range vars {
+		vars[i] = logic.Var(fmt.Sprintf("x%d", i+1))
+	}
+	var atoms []logic.Formula
+	for i := 0; i < k; i++ {
+		atoms = append(atoms, logic.Atom{Rel: "E", Args: []logic.Var{"c", vars[i]}})
+	}
+	return logic.MustQuery(fmt.Sprintf("star%d", k), vars, logic.Exist([]logic.Var{"c"}, logic.Conj(atoms...)))
+}
+
+// CycleQuery returns the free k-cycle query (k ≥ 3).
+func CycleQuery(k int) logic.Query {
+	vars := make([]logic.Var, k)
+	for i := range vars {
+		vars[i] = logic.Var(fmt.Sprintf("x%d", i+1))
+	}
+	var atoms []logic.Formula
+	for i := 0; i < k; i++ {
+		atoms = append(atoms, logic.Atom{Rel: "E", Args: []logic.Var{vars[i], vars[(i+1)%k]}})
+	}
+	return logic.MustQuery(fmt.Sprintf("cycle%d", k), vars, logic.Conj(atoms...))
+}
+
+// RandomPPQuery returns a random pp-query over sig with the given number
+// of variables (nFree of them liberal) and atoms.
+func RandomPPQuery(sig *structure.Signature, nVars, nFree, nAtoms int, seed int64) logic.Query {
+	rng := rand.New(rand.NewSource(seed))
+	if nFree > nVars {
+		nFree = nVars
+	}
+	vars := make([]logic.Var, nVars)
+	for i := range vars {
+		vars[i] = logic.Var(fmt.Sprintf("v%d", i))
+	}
+	rels := sig.Rels()
+	var atoms []logic.Formula
+	for a := 0; a < nAtoms; a++ {
+		r := rels[rng.Intn(len(rels))]
+		args := make([]logic.Var, r.Arity)
+		for p := range args {
+			args[p] = vars[rng.Intn(nVars)]
+		}
+		atoms = append(atoms, logic.Atom{Rel: r.Name, Args: args})
+	}
+	lib := vars[:nFree]
+	body := logic.Exist(vars[nFree:], logic.Conj(atoms...))
+	// Quantifiers over variables that ended up unused are dropped by the
+	// DNF translation; the query remains valid.
+	return logic.MustQuery(fmt.Sprintf("randpp_%d", seed), lib, body)
+}
+
+// RandomEPQuery returns a random ep-query: a disjunction of nDisjuncts
+// random pp-queries sharing the same liberal variables.
+func RandomEPQuery(sig *structure.Signature, nDisjuncts, nVars, nFree, nAtoms int, seed int64) logic.Query {
+	rng := rand.New(rand.NewSource(seed))
+	var parts []logic.Formula
+	var lib []logic.Var
+	for d := 0; d < nDisjuncts; d++ {
+		q := RandomPPQuery(sig, nVars, nFree, nAtoms, rng.Int63())
+		if d == 0 {
+			lib = q.Lib
+		}
+		parts = append(parts, q.F)
+	}
+	return logic.MustQuery(fmt.Sprintf("randep_%d", seed), lib, logic.Disj(parts...))
+}
+
+// SocialNetwork generates the social-graph structure used by the examples
+// and benches: persons with Follows edges (directed), Likes edges from
+// persons to items, and Member edges from persons to groups.
+func SocialNetwork(nPersons, nItems, nGroups int, seed int64) *structure.Structure {
+	rng := rand.New(rand.NewSource(seed))
+	sig := structure.MustSignature(
+		structure.RelSym{Name: "Follows", Arity: 2},
+		structure.RelSym{Name: "Likes", Arity: 2},
+		structure.RelSym{Name: "Member", Arity: 2},
+	)
+	s := structure.New(sig)
+	for i := 0; i < nPersons; i++ {
+		s.EnsureElem(fmt.Sprintf("p%d", i))
+	}
+	for i := 0; i < nItems; i++ {
+		s.EnsureElem(fmt.Sprintf("i%d", i))
+	}
+	for i := 0; i < nGroups; i++ {
+		s.EnsureElem(fmt.Sprintf("g%d", i))
+	}
+	person := func(i int) int { return i }
+	item := func(i int) int { return nPersons + i }
+	group := func(i int) int { return nPersons + nItems + i }
+	// Preferential-attachment-flavored follows.
+	for i := 1; i < nPersons; i++ {
+		deg := 1 + rng.Intn(3)
+		for d := 0; d < deg; d++ {
+			j := rng.Intn(i)
+			_ = s.AddTuple("Follows", person(i), person(j))
+			if rng.Float64() < 0.3 {
+				_ = s.AddTuple("Follows", person(j), person(i))
+			}
+		}
+	}
+	for i := 0; i < nPersons; i++ {
+		for d := 0; d < 1+rng.Intn(4); d++ {
+			_ = s.AddTuple("Likes", person(i), item(rng.Intn(maxInt(nItems, 1))))
+		}
+		if nGroups > 0 && rng.Float64() < 0.8 {
+			_ = s.AddTuple("Member", person(i), group(rng.Intn(nGroups)))
+		}
+	}
+	return s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
