@@ -398,3 +398,73 @@ func benchCounterParallel(b *testing.B, parallel bool) {
 		}
 	}
 }
+
+// --- JoinCount: executor hot path on medium instances --------------------
+//
+// Pure #HOM workloads (every pattern variable liberal): the count is
+// exactly the join-count DP over the contract-graph decomposition, so
+// these benches isolate the executor — packed keys, int64 fast path,
+// session-cached constraint tables.
+
+func pathStructure(k int) *structure.Structure {
+	a := structure.New(workload.EdgeSig())
+	for i := 0; i <= k; i++ {
+		a.EnsureElem("x" + string(rune('0'+i/10)) + string(rune('0'+i%10)))
+	}
+	for i := 0; i < k; i++ {
+		_ = a.AddTuple("E", i, i+1)
+	}
+	return a
+}
+
+func cycleStructure(k int) *structure.Structure {
+	a := structure.New(workload.EdgeSig())
+	for i := 0; i < k; i++ {
+		a.EnsureElem("c" + string(rune('0'+i/10)) + string(rune('0'+i%10)))
+	}
+	for i := 0; i < k; i++ {
+		_ = a.AddTuple("E", i, (i+1)%k)
+	}
+	return a
+}
+
+func benchJoinCountHom(b *testing.B, pattern *structure.Structure, n int, density float64) {
+	b.Helper()
+	bs := workload.GraphStructure(workload.ER(n, density, int64(n)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := count.Homomorphisms(pattern, bs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoinCount_Path6_N120(b *testing.B) {
+	benchJoinCountHom(b, pathStructure(6), 120, 4.0/120)
+}
+func BenchmarkJoinCount_Path10_N200(b *testing.B) {
+	benchJoinCountHom(b, pathStructure(10), 200, 4.0/200)
+}
+func BenchmarkJoinCount_Cycle6_N120(b *testing.B) {
+	benchJoinCountHom(b, cycleStructure(6), 120, 6.0/120)
+}
+
+// --- batched counting -----------------------------------------------------
+
+func BenchmarkCounter_CountBatch16(b *testing.B) {
+	q := parser.MustQuery(`q(w,x,y,z) := E(x,y) & E(y,z) | E(z,w) & E(w,x) | E(x,w) & E(y,w)`)
+	c, err := core.NewCounter(q, workload.EdgeSig(), count.EngineFPT)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]*structure.Structure, 16)
+	for i := range batch {
+		batch[i] = workload.GraphStructure(workload.ER(24, 0.2, int64(i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.CountBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -10,6 +10,7 @@
 //	epbench -quick     # smaller instances
 //	epbench -run E3    # one experiment
 //	epbench -list      # list experiments
+//	epbench -json out/ # also write machine-readable BENCH_<id>.json files
 package main
 
 import (
@@ -24,10 +25,11 @@ import (
 
 func main() {
 	var (
-		quick  = flag.Bool("quick", false, "run reduced instance sizes")
-		runID  = flag.String("run", "", "run a single experiment by id (e.g. E3)")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+		quick   = flag.Bool("quick", false, "run reduced instance sizes")
+		runID   = flag.String("run", "", "run a single experiment by id (e.g. E3)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		jsonDir = flag.String("json", "", "also write each table as BENCH_<id>.json into this directory")
 	)
 	flag.Parse()
 	if *list {
@@ -55,8 +57,9 @@ func main() {
 			failed++
 			continue
 		}
+		elapsed := time.Since(start)
 		fmt.Print(tbl.Render())
-		fmt.Printf("elapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("elapsed: %v\n\n", elapsed.Round(time.Millisecond))
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, "epbench:", err)
@@ -64,6 +67,22 @@ func main() {
 			}
 			path := filepath.Join(*csvDir, s.ID+".csv")
 			if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "epbench:", err)
+				os.Exit(1)
+			}
+		}
+		if *jsonDir != "" {
+			if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "epbench:", err)
+				os.Exit(1)
+			}
+			data, err := tbl.JSON(elapsed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "epbench:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*jsonDir, "BENCH_"+s.ID+".json")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "epbench:", err)
 				os.Exit(1)
 			}

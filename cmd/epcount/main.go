@@ -22,6 +22,7 @@ import (
 	epcq "repro"
 	"repro/internal/core"
 	"repro/internal/count"
+	"repro/internal/engine"
 )
 
 func main() {
@@ -122,15 +123,5 @@ func run(queryStr, queryFile, dataFile, engineName string, explain, verify, timi
 }
 
 func parseEngine(name string) (count.PPEngine, error) {
-	switch name {
-	case "fpt", "auto":
-		return count.EngineFPT, nil
-	case "fpt-nocore":
-		return count.EngineFPTNoCore, nil
-	case "projection", "proj":
-		return count.EngineProjection, nil
-	case "brute":
-		return count.EngineBrute, nil
-	}
-	return 0, fmt.Errorf("unknown engine %q (want fpt, fpt-nocore, projection or brute)", name)
+	return engine.ParseName(name)
 }

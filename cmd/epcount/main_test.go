@@ -11,7 +11,7 @@ import (
 func TestParseEngine(t *testing.T) {
 	cases := map[string]count.PPEngine{
 		"fpt":        count.EngineFPT,
-		"auto":       count.EngineFPT,
+		"auto":       count.EngineAuto,
 		"fpt-nocore": count.EngineFPTNoCore,
 		"projection": count.EngineProjection,
 		"proj":       count.EngineProjection,

@@ -11,7 +11,14 @@
 //   - parsing and construction of ep-queries (unions of conjunctive
 //     queries with designated "liberal" variables) and structures;
 //   - the production counting pipeline of the paper (Theorem 3.1 front-end
-//   - the Theorem 2.11 FPT counting algorithm);
+//   - the Theorem 2.11 FPT counting algorithm), executed by the layered
+//     Plan→Executor→Session engine of internal/engine: queries compile
+//     once to engine plans, structures materialize constraint tables once
+//     per session, and the join-count DP runs on packed uint64 keys with
+//     an int64 fast path;
+//   - repeated counting (Counter.Count), concurrent term evaluation
+//     (Counter.CountParallel), and batched counting over many structures
+//     on a bounded worker pool (Counter.CountBatch / epcq.CountBatch);
 //   - the decidable equivalence notions of Section 5 (counting
 //     equivalence, semi-counting equivalence, logical equivalence);
 //   - the φ⁺ translation of the equivalence theorem and both counting
@@ -23,7 +30,8 @@
 //	q, _ := epcq.ParseQuery("triangles(x,y,z) := E(x,y) & E(y,z) & E(z,x)")
 //	b, _ := epcq.ParseStructure("E(a,b). E(b,c). E(c,a).", nil)
 //	c, _ := epcq.NewCounter(q, b.Signature(), epcq.EngineFPT)
-//	n, _ := c.Count(b) // *big.Int
+//	n, _ := c.Count(b)                                  // *big.Int
+//	ns, _ := c.CountBatch([]*epcq.Structure{b, b2, b3}) // bounded worker pool
 package epcq
 
 import (
@@ -142,6 +150,22 @@ func Count(q Query, b *Structure) (*big.Int, error) {
 		return nil, err
 	}
 	return c.Count(b)
+}
+
+// CountBatch compiles the query once and counts its answers on every
+// structure of the batch, spreading the structures over a bounded worker
+// pool (at most GOMAXPROCS goroutines).  Result i corresponds to bs[i].
+// For repeated batches over the same query, hold a Counter and call its
+// CountBatch method.
+func CountBatch(q Query, bs []*Structure) ([]*big.Int, error) {
+	if len(bs) == 0 {
+		return nil, nil
+	}
+	c, err := core.NewCounter(q, bs[0].Signature(), count.EngineFPT)
+	if err != nil {
+		return nil, err
+	}
+	return c.CountBatch(bs)
 }
 
 // Answer is one satisfying assignment of the liberal variables, with

@@ -188,3 +188,46 @@ func TestBuildStructureProgrammatically(t *testing.T) {
 		t.Fatalf("count = %v, want 1", n)
 	}
 }
+
+func TestCountBatchAPI(t *testing.T) {
+	q, err := epcq.ParseQuery("common(a,c) := exists m. E(a,m) & E(m,c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []*epcq.Structure
+	srcs := []string{
+		"E(a,b). E(b,c).",
+		"E(a,a).",
+		"E(a,b). E(b,c). E(c,d). E(d,a).",
+	}
+	sig, err := epcq.InferSignature(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range srcs {
+		b, err := epcq.ParseStructure(src, sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch = append(batch, b)
+	}
+	got, err := epcq.CountBatch(q, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(batch) {
+		t.Fatalf("batch returned %d results, want %d", len(got), len(batch))
+	}
+	for i, b := range batch {
+		want, err := epcq.Count(q, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].Cmp(want) != 0 {
+			t.Fatalf("batch[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+	if res, err := epcq.CountBatch(q, nil); err != nil || res != nil {
+		t.Fatalf("empty batch = %v, %v; want nil, nil", res, err)
+	}
+}

@@ -13,10 +13,10 @@ import (
 	"fmt"
 	"math/big"
 	"strings"
-	"sync"
 
 	"repro/internal/classify"
 	"repro/internal/count"
+	"repro/internal/engine"
 	"repro/internal/eptrans"
 	"repro/internal/logic"
 	"repro/internal/pp"
@@ -28,16 +28,30 @@ type Counter struct {
 	Compiled *eptrans.Compiled
 	Engine   count.PPEngine
 
-	// plans holds a precompiled Theorem 2.11 counting plan per φ⁻af term
-	// (keyed by the term's structure identity) when the engine is from
-	// the FPT family; the formula-dependent work — cores, ∃-components,
-	// tree decompositions — is then paid once at construction.
-	plans map[*structure.Structure]*count.Plan
+	// plans holds one compiled engine.Plan per φ⁻af term (keyed by the
+	// term's structure identity): the formula-dependent work — cores,
+	// ∃-components, tree decompositions, constraint schemes — is paid
+	// once at construction, for every engine.  Structure-dependent work
+	// (constraint tables) lives in per-structure engine.Sessions shared
+	// across terms, repeated counts, and batches.
+	plans map[*structure.Structure]engine.Plan
+}
+
+// termEngine maps the configured engine to the engine used for the φ⁻af
+// terms: terms come out of the inclusion–exclusion merge already cored,
+// so the FPT family skips the core step.
+func termEngine(e count.PPEngine) engine.Name {
+	switch e {
+	case count.EngineFPT, count.EngineAuto, count.EngineFPTNoCore:
+		return engine.FPTNoCore
+	default:
+		return e
+	}
 }
 
 // NewCounter compiles the query over the signature.  Passing a nil
 // signature infers it from the query's atoms.
-func NewCounter(q logic.Query, sig *structure.Signature, engine count.PPEngine) (*Counter, error) {
+func NewCounter(q logic.Query, sig *structure.Signature, eng count.PPEngine) (*Counter, error) {
 	if sig == nil {
 		var err error
 		sig, err = eptrans.InferStructSignature(q)
@@ -49,18 +63,14 @@ func NewCounter(q logic.Query, sig *structure.Signature, engine count.PPEngine) 
 	if err != nil {
 		return nil, err
 	}
-	counter := &Counter{Compiled: c, Engine: engine}
-	if engine == count.EngineFPT || engine == count.EngineAuto || engine == count.EngineFPTNoCore {
-		counter.plans = make(map[*structure.Structure]*count.Plan, len(c.Minus))
-		for _, term := range c.Minus {
-			// φ⁻af terms come out of the inclusion–exclusion merge already
-			// cored, so the plan skips the core step.
-			plan, err := count.NewPlan(term.Formula, false)
-			if err != nil {
-				return nil, err
-			}
-			counter.plans[term.Formula.A] = plan
+	counter := &Counter{Compiled: c, Engine: eng}
+	counter.plans = make(map[*structure.Structure]engine.Plan, len(c.Minus))
+	for _, term := range c.Minus {
+		plan, err := engine.Compile(term.Formula, termEngine(eng))
+		if err != nil {
+			return nil, err
 		}
+		counter.plans[term.Formula.A] = plan
 	}
 	return counter, nil
 }
@@ -77,10 +87,12 @@ func (c *Counter) Count(b *structure.Structure) (*big.Int, error) {
 	return eptrans.CountEPViaPP(c.Compiled, b, c.ppCounter())
 }
 
-// CountParallel is Count with the φ⁻af terms evaluated concurrently (one
-// goroutine per term).  Structures are safe for concurrent read-only use,
-// and the signed sum is order-independent, so the result is identical to
-// Count.  Worth it when φ⁻af has several expensive terms.
+// CountParallel is Count with the φ⁻af terms evaluated concurrently on a
+// bounded worker pool (at most GOMAXPROCS goroutines).  Structures are
+// safe for concurrent read-only use, the shared engine.Session is
+// concurrency-safe, and the signed sum is order-independent, so the
+// result is identical to Count.  Worth it when φ⁻af has several
+// expensive terms.
 func (c *Counter) CountParallel(b *structure.Structure) (*big.Int, error) {
 	if !c.Compiled.Sig.Equal(b.Signature()) {
 		return nil, fmt.Errorf("core: query signature %v differs from structure signature %v",
@@ -89,44 +101,64 @@ func (c *Counter) CountParallel(b *structure.Structure) (*big.Int, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
+	sess := engine.SessionFor(b)
 	for _, th := range c.Compiled.Sentences {
-		if eptrans.SentenceHolds(th, b) {
+		if sess.SentenceHolds(th.A) {
 			return c.Compiled.MaxCount(b), nil
 		}
 	}
-	counter := c.ppCounter()
-	type result struct {
-		val *big.Int
-		err error
+	results := make([]*big.Int, len(c.Compiled.Minus))
+	err := engine.RunBounded(len(c.Compiled.Minus), 0, func(i int) error {
+		v, err := c.termCount(c.Compiled.Minus[i].Formula, sess)
+		results[i] = v
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
-	results := make([]result, len(c.Compiled.Minus))
-	var wg sync.WaitGroup
-	for i, term := range c.Compiled.Minus {
-		wg.Add(1)
-		go func(i int, f pp.PP) {
-			defer wg.Done()
-			v, err := counter(f, b)
-			results[i] = result{val: v, err: err}
-		}(i, term.Formula)
-	}
-	wg.Wait()
 	total := new(big.Int)
 	for i, term := range c.Compiled.Minus {
-		if results[i].err != nil {
-			return nil, results[i].err
-		}
-		total.Add(total, new(big.Int).Mul(term.Coeff, results[i].val))
+		total.Add(total, new(big.Int).Mul(term.Coeff, results[i]))
 	}
 	return total, nil
 }
 
+// CountBatch counts the query on every structure of the batch, spreading
+// the structures over a bounded worker pool (at most GOMAXPROCS
+// goroutines; the φ⁻af terms of each structure run serially inside its
+// worker).  Result i corresponds to bs[i].
+func (c *Counter) CountBatch(bs []*structure.Structure) ([]*big.Int, error) {
+	out := make([]*big.Int, len(bs))
+	err := engine.RunBounded(len(bs), 0, func(i int) error {
+		v, err := c.Count(bs[i])
+		out[i] = v
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// termCount evaluates one φ⁻af term inside a session, through its
+// precompiled plan.
+func (c *Counter) termCount(p pp.PP, sess *engine.Session) (*big.Int, error) {
+	if plan, ok := c.plans[p.A]; ok {
+		return plan.CountIn(sess)
+	}
+	pl, err := engine.Compile(p, termEngine(c.Engine))
+	if err != nil {
+		return nil, err
+	}
+	return pl.CountIn(sess)
+}
+
 func (c *Counter) ppCounter() eptrans.PPCounter {
-	engine := c.Engine
 	return func(p pp.PP, b *structure.Structure) (*big.Int, error) {
 		if plan, ok := c.plans[p.A]; ok {
-			return plan.Count(b)
+			return plan.CountIn(engine.SessionFor(b))
 		}
-		return count.PP(p, b, engine)
+		return count.PP(p, b, c.Engine)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/classify"
 	"repro/internal/count"
 	"repro/internal/parser"
+	"repro/internal/structure"
 	"repro/internal/workload"
 )
 
@@ -201,5 +202,55 @@ func TestAnswersThroughCounter(t *testing.T) {
 	count.SortAnswers(got)
 	if got[0][0] != "a" || got[0][1] != "b" || got[1][0] != "b" || got[1][1] != "a" {
 		t.Fatalf("answers = %v", got)
+	}
+}
+
+// CountBatch must agree with per-structure Count for every engine, and
+// report errors (here: a signature mismatch inside the batch).
+func TestCountBatchMatchesCount(t *testing.T) {
+	q := parser.MustQuery("q(w,x,y,z) := E(x,y) & E(y,z) | E(z,w) & E(w,x) | E(w,x) & E(x,y)")
+	for _, eng := range []count.PPEngine{count.EngineFPT, count.EngineProjection} {
+		c, err := NewCounter(q, nil, eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var batch []*structure.Structure
+		var want []*big.Int
+		for seed := int64(0); seed < 12; seed++ {
+			b := workload.RandomStructure(workload.EdgeSig(), 4, 0.35, seed)
+			batch = append(batch, b)
+			v, err := c.Count(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, v)
+		}
+		got, err := c.CountBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("engine %v: batch returned %d results, want %d", eng, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Cmp(want[i]) != 0 {
+				t.Fatalf("engine %v: batch[%d] = %v, want %v", eng, i, got[i], want[i])
+			}
+		}
+	}
+	// A bad structure anywhere in the batch surfaces as an error.
+	c, err := NewCounter(q, nil, count.EngineFPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := structure.MustSignature(structure.RelSym{Name: "F", Arity: 1})
+	bad := structure.New(other)
+	bad.EnsureElem("a")
+	batch := []*structure.Structure{
+		workload.RandomStructure(workload.EdgeSig(), 3, 0.4, 1),
+		bad,
+	}
+	if _, err := c.CountBatch(batch); err == nil {
+		t.Fatal("batch with mismatched signature must error")
 	}
 }

@@ -257,3 +257,71 @@ func TestPadLoopsPositivity(t *testing.T) {
 		}
 	}
 }
+
+// Regression: a mixed sentence+free union must count |B|^|lib| when a
+// sentence disjunct holds — not 1.  The sentence disjunct is deliberately
+// built with an empty liberal set (pp.New, not FromDisjunct) to exercise
+// the raw-union path.
+func TestEPUnionMixedSentenceAndFree(t *testing.T) {
+	sig := edgeSig()
+	free := mustPPFromQuery(t, mustParseQ(t, "p(x,y) := E(x,y)"), sig)
+
+	// Sentence disjunct ∃u. E(u,u) with S = ∅.
+	sa := structure.New(sig)
+	u, err := sa.AddElem("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.AddTuple("E", u, u); err != nil {
+		t.Fatal(err)
+	}
+	sentence, err := pp.New(sa, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// With a loop the sentence holds: the union is all of B².
+	withLoop := parser.MustStructure(`E(1,2). E(3,3).`, sig)
+	got, err := EPUnion([]pp.PP{free, sentence}, withLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := structure.PowerSize(withLoop, 2) // |B|^|lib| = 9
+	if got.Cmp(want) != 0 {
+		t.Fatalf("union with satisfied sentence = %v, want %v", got, want)
+	}
+
+	// Without a loop only the free disjunct contributes.
+	noLoop := parser.MustStructure(`E(1,2). E(2,3).`, sig)
+	got, err = EPUnion([]pp.PP{free, sentence}, noLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewInt(2)) != 0 {
+		t.Fatalf("union with failed sentence = %v, want 2", got)
+	}
+
+	// The parsed form of the same union must agree with EPDirect.
+	q := mustParseQ(t, "p(x,y) := E(x,y) | exists u. E(u,u)")
+	var pps []pp.PP
+	for _, d := range q.Disjuncts() {
+		p, err := pp.FromDisjunct(sig, q.Lib, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pps = append(pps, p)
+	}
+	for _, b := range []*structure.Structure{withLoop, noLoop} {
+		direct, err := EPDirect(q, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		union, err := EPUnion(pps, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct.Cmp(union) != 0 {
+			t.Fatalf("EPUnion %v != EPDirect %v", union, direct)
+		}
+	}
+}

@@ -4,48 +4,37 @@ import (
 	"fmt"
 	"math/big"
 
-	"repro/internal/hom"
+	"repro/internal/engine"
 	"repro/internal/pp"
 	"repro/internal/structure"
 )
 
-// PPEngine selects an algorithm for counting pp-formula answers.
-type PPEngine int
+// PPEngine selects an algorithm for counting pp-formula answers.  It is
+// the engine.Name of the layered execution core; the constants below are
+// re-exported for callers of this package.
+type PPEngine = engine.Name
 
 const (
 	// EngineAuto uses the FPT engine.
-	EngineAuto PPEngine = iota
+	EngineAuto = engine.Auto
 	// EngineBrute enumerates all |B|^|S| liberal assignments and tests
 	// each for extendability: the reference semantics.
-	EngineBrute
+	EngineBrute = engine.Brute
 	// EngineProjection factorizes over components and enumerates the
 	// extendable liberal assignments by backtracking with propagation.
-	EngineProjection
+	EngineProjection = engine.Projection
 	// EngineFPT runs the Theorem 2.11 pipeline: core, ∃-component
 	// predicates, join-count DP over a contract-graph tree decomposition.
-	EngineFPT
+	EngineFPT = engine.FPT
 	// EngineFPTNoCore is EngineFPT without the core step (ablation A1).
-	EngineFPTNoCore
+	EngineFPTNoCore = engine.FPTNoCore
 )
 
-func (e PPEngine) String() string {
-	switch e {
-	case EngineAuto:
-		return "auto"
-	case EngineBrute:
-		return "brute"
-	case EngineProjection:
-		return "projection"
-	case EngineFPT:
-		return "fpt"
-	case EngineFPTNoCore:
-		return "fpt-nocore"
-	}
-	return "unknown"
-}
-
-// PP counts |φ(B)| for a pp-formula with the selected engine.
-func PP(p pp.PP, b *structure.Structure, engine PPEngine) (*big.Int, error) {
+// PP counts |φ(B)| for a pp-formula with the selected engine.  The
+// formula is compiled to an engine.Plan (memoized across calls) and
+// executed against b; callers holding a Plan directly avoid even the
+// memoization lookup.
+func PP(p pp.PP, b *structure.Structure, eng PPEngine) (*big.Int, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
@@ -53,72 +42,21 @@ func PP(p pp.PP, b *structure.Structure, engine PPEngine) (*big.Int, error) {
 		return nil, fmt.Errorf("count: formula signature %v differs from structure signature %v",
 			p.A.Signature(), b.Signature())
 	}
-	switch engine {
-	case EngineBrute:
-		return ppBrute(p, b), nil
-	case EngineProjection:
-		return ppProjection(p, b), nil
-	case EngineFPT, EngineAuto:
-		return ppFPT(p, b, true)
-	case EngineFPTNoCore:
-		return ppFPT(p, b, false)
-	default:
-		return nil, fmt.Errorf("count: unknown engine %d", engine)
+	pl, err := engine.Compile(p, eng)
+	if err != nil {
+		return nil, err
 	}
+	return pl.Count(b)
 }
 
-// ppBrute enumerates every f : S → B and checks extendability.
-func ppBrute(p pp.PP, b *structure.Structure) *big.Int {
-	n := b.Size()
-	total := new(big.Int)
-	one := big.NewInt(1)
-	pin := make(map[int]int, len(p.S))
-	var rec func(i int)
-	rec = func(i int) {
-		if i == len(p.S) {
-			cp := make(map[int]int, len(pin))
-			for k, v := range pin {
-				cp[k] = v
-			}
-			if hom.Exists(p.A, b, hom.Options{Pin: cp}) {
-				total.Add(total, one)
-			}
-			return
-		}
-		for e := 0; e < n; e++ {
-			pin[p.S[i]] = e
-			rec(i + 1)
-		}
-		delete(pin, p.S[i])
+// NewPlan compiles the Theorem 2.11 counting plan for a pp-formula.
+// useCore selects whether the formula is replaced by its core first
+// (always sound; pre-cored formulas such as φ⁻af terms should pass
+// false).  Kept as the package's stable entry point to the engine's Plan
+// layer.
+func NewPlan(p pp.PP, useCore bool) (engine.Plan, error) {
+	if useCore {
+		return engine.Compile(p, engine.FPT)
 	}
-	rec(0)
-	return total
-}
-
-// ppProjection counts per component (|φ(B)| = ∏|φᵢ(B)|, Section 2.1) and
-// enumerates extendable liberal assignments with the propagating solver.
-func ppProjection(p pp.PP, b *structure.Structure) *big.Int {
-	total := big.NewInt(1)
-	for _, comp := range p.Components() {
-		factor := new(big.Int)
-		if len(comp.S) == 0 {
-			if hom.Exists(comp.A, b, hom.Options{}) {
-				factor.SetInt64(1)
-			}
-		} else if comp.A.NumTuples() == 0 {
-			// Isolated liberal variables: every assignment works.
-			factor = structure.PowerSize(b, len(comp.S))
-		} else {
-			one := big.NewInt(1)
-			hom.ForEachExtendable(comp.A, b, comp.S, hom.Options{}, func([]int) bool {
-				factor.Add(factor, one)
-				return true
-			})
-		}
-		if factor.Sign() == 0 {
-			return new(big.Int)
-		}
-		total.Mul(total, factor)
-	}
-	return total
+	return engine.Compile(p, engine.FPTNoCore)
 }

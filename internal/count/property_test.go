@@ -1,9 +1,11 @@
 package count
 
 import (
+	"fmt"
 	"math/big"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/ie"
 	"repro/internal/logic"
 	"repro/internal/parser"
@@ -194,6 +196,83 @@ func TestPaddingPolynomialIdentity(t *testing.T) {
 	d3 := new(big.Int).Sub(d2[1], d2[0])
 	if d3.Sign() != 0 {
 		t.Fatalf("|φ(B+kI)| not a degree-≤2 polynomial in k: %v", vals)
+	}
+}
+
+// Executor key schemes: the packed-uint64 and wide-bag spill paths of the
+// join-count DP must agree with the brute engine on randomized
+// queries/structures.
+func TestExecutorKeySchemesAgreeWithBrute(t *testing.T) {
+	sig := workload.EdgeSig()
+	for seed := int64(0); seed < 25; seed++ {
+		q := workload.RandomEPQuery(sig, 1, 4, 2, 3, seed)
+		p, err := pp.FromDisjunct(sig, q.Lib, q.Disjuncts()[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := workload.RandomStructure(sig, 5, 0.35, seed+1000)
+		want, err := PP(p, b, EngineBrute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		packed, err := PP(p, b, EngineFPT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		restore := engine.SetPackedKeyBudget(0)
+		spilled, err := PP(p, b, EngineFPT)
+		restore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if packed.Cmp(want) != 0 {
+			t.Fatalf("seed %d: packed %v != brute %v (query %v)", seed, packed, want, q)
+		}
+		if spilled.Cmp(want) != 0 {
+			t.Fatalf("seed %d: spilled %v != brute %v (query %v)", seed, spilled, want, q)
+		}
+	}
+}
+
+// Executor overflow: a count exceeding int64 forces the executor's
+// int64→big.Int fallback mid-DP and must still be exact.
+// hom(P_12, K_41^loop) = 41^13 ≈ 2^69.6.
+func TestExecutorOverflowFallsBackToBigInt(t *testing.T) {
+	const n, edges = 41, 12
+	b := structure.New(workload.EdgeSig())
+	for i := 0; i < n; i++ {
+		if _, err := b.AddElem(fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if err := b.AddTuple("E", i, j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	a := structure.New(workload.EdgeSig())
+	for i := 0; i <= edges; i++ {
+		if _, err := a.AddElem(fmt.Sprintf("x%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < edges; i++ {
+		if err := a.AddTuple("E", i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := Homomorphisms(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Int).Exp(big.NewInt(n), big.NewInt(edges+1), nil)
+	if got.Cmp(want) != 0 {
+		t.Fatalf("hom count = %v, want %v", got, want)
+	}
+	if got.IsInt64() {
+		t.Fatal("instance too small to exercise the big.Int fallback")
 	}
 }
 

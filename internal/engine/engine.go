@@ -1,0 +1,171 @@
+// Package engine is the layered execution core of the counting pipeline.
+// It separates three concerns that the paper's algorithms (Theorems 2.11
+// and 3.1) interleave:
+//
+//   - the Plan IR layer: compiling a pp-formula once into an executable
+//     Plan — every engine (brute, projection, FPT with or without core,
+//     auto) is a Plan behind the same interface, so callers never
+//     switch-dispatch on engine names;
+//   - the Executor layer (exec.go): the join-count dynamic program over
+//     packed uint64 bag keys (with a spill path for wide bags), an int64
+//     fast path with overflow detection before big.Int, and pooled
+//     scratch buffers;
+//   - the Session layer (session.go): per-structure state — fingerprint,
+//     materialized constraint tables, cached sentence checks — shared
+//     across φ⁻af terms, repeated counts, and batched counting.
+package engine
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+
+	"repro/internal/pp"
+	"repro/internal/structure"
+)
+
+// Name identifies a counting engine.
+type Name int
+
+const (
+	// Auto picks an engine automatically (currently the FPT engine).
+	Auto Name = iota
+	// Brute enumerates all |B|^|S| liberal assignments (reference).
+	Brute
+	// Projection factorizes over components and enumerates extendable
+	// liberal assignments by backtracking with propagation.
+	Projection
+	// FPT runs the Theorem 2.11 pipeline: core, ∃-component predicates,
+	// join-count DP over a contract-graph tree decomposition.
+	FPT
+	// FPTNoCore is FPT without the core step (ablation A1).
+	FPTNoCore
+)
+
+func (n Name) String() string {
+	switch n {
+	case Auto:
+		return "auto"
+	case Brute:
+		return "brute"
+	case Projection:
+		return "projection"
+	case FPT:
+		return "fpt"
+	case FPTNoCore:
+		return "fpt-nocore"
+	}
+	return "unknown"
+}
+
+// ParseName resolves an engine name as used by the CLIs.
+func ParseName(s string) (Name, error) {
+	switch s {
+	case "auto":
+		return Auto, nil
+	case "fpt":
+		return FPT, nil
+	case "fpt-nocore":
+		return FPTNoCore, nil
+	case "projection", "proj":
+		return Projection, nil
+	case "brute":
+		return Brute, nil
+	}
+	return 0, fmt.Errorf("engine: unknown engine %q (want auto, fpt, fpt-nocore, projection or brute)", s)
+}
+
+// Names lists every engine, in declaration order.
+func Names() []Name { return []Name{Auto, Brute, Projection, FPT, FPTNoCore} }
+
+// Plan is a pp-formula compiled for a fixed engine: all formula-dependent
+// work (cores, ∃-components, tree decompositions, constraint schemes) is
+// done at compile time, so Count only performs structure-dependent work.
+// Plans are immutable after compilation and safe for concurrent use.
+type Plan interface {
+	// Engine returns the engine the plan was compiled for.
+	Engine() Name
+	// Formula returns the compiled pp-formula.
+	Formula() pp.PP
+	// Count executes the plan against a structure, using a shared Session
+	// for the structure-dependent materializations.
+	Count(b *structure.Structure) (*big.Int, error)
+	// CountIn executes the plan inside an existing session (the structure
+	// is the session's); materialized tables are reused and extended.
+	CountIn(s *Session) (*big.Int, error)
+}
+
+// Compile builds a plan for the formula under the named engine.  Results
+// are memoized per (formula structure identity, structure version, liberal
+// set, engine), so hot one-shot paths that re-count the same compiled
+// formula do not pay recompilation.
+func Compile(p pp.PP, name Name) (Plan, error) {
+	if key, ok := planCacheKeyFor(p, name); ok {
+		planCacheMu.Lock()
+		cached := planCache[key]
+		planCacheMu.Unlock()
+		if cached != nil {
+			return cached, nil
+		}
+		pl, err := compile(p, name)
+		if err != nil {
+			return nil, err
+		}
+		planCacheMu.Lock()
+		if len(planCache) >= planCacheCap {
+			// Cheap wholesale eviction: the cache is a memo, not a store.
+			planCache = make(map[planCacheKey]Plan, planCacheCap)
+		}
+		planCache[key] = pl
+		planCacheMu.Unlock()
+		return pl, nil
+	}
+	return compile(p, name)
+}
+
+func compile(p pp.PP, name Name) (Plan, error) {
+	switch name {
+	case Brute:
+		return &brutePlan{p: p}, nil
+	case Projection:
+		return newProjectionPlan(p), nil
+	case FPT, Auto:
+		return newFPTPlan(p, name, true)
+	case FPTNoCore:
+		return newFPTPlan(p, name, false)
+	}
+	return nil, fmt.Errorf("engine: unknown engine %d", name)
+}
+
+// planCacheKey identifies a compiled formula: the structure pointer plus
+// its mutation version (stale entries simply miss), the liberal set, and
+// the engine.
+type planCacheKey struct {
+	a       *structure.Structure
+	version uint64
+	libs    string
+	name    Name
+}
+
+const planCacheCap = 256
+
+var (
+	planCacheMu sync.Mutex
+	planCache   = make(map[planCacheKey]Plan, planCacheCap)
+)
+
+func planCacheKeyFor(p pp.PP, name Name) (planCacheKey, bool) {
+	if p.A == nil {
+		return planCacheKey{}, false
+	}
+	// S is a sorted list of small ints; a compact byte encoding is an
+	// adequate identity.
+	buf := make([]byte, 0, 2*len(p.S))
+	for _, v := range p.S {
+		if v > 0xffff {
+			return planCacheKey{}, false
+		}
+		buf = append(buf, byte(v), byte(v>>8))
+	}
+	return planCacheKey{a: p.A, version: p.A.Version(), libs: string(buf), name: name}, true
+}

@@ -1,0 +1,313 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/pp"
+	"repro/internal/structure"
+	"repro/internal/workload"
+)
+
+func compilePP(t *testing.T, sig *structure.Signature, src string) pp.PP {
+	t.Helper()
+	q, err := parser.ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pp.FromDisjunct(sig, q.Lib, q.Disjuncts()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// All five engines are Plans behind the same interface and must agree
+// with the brute reference on random structures.
+func TestAllEnginesAgreeViaPlanInterface(t *testing.T) {
+	sig := workload.EdgeSig()
+	queries := []string{
+		"q(s,t) := exists u, v. E(s,u) & E(u,v) & E(v,t)",
+		"q(x) := exists u, w. E(x,u) & E(x,w)",
+		"q(x,y,z) := E(x,y) & E(z,z)",
+		"q(x) := E(x,x) & (exists a, b. E(a,b) & E(b,a))",
+	}
+	for _, src := range queries {
+		p := compilePP(t, sig, src)
+		ref, err := Compile(p, Brute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(0); seed < 6; seed++ {
+			b := workload.RandomStructure(sig, 4, 0.35, seed)
+			want, err := ref.Count(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range Names() {
+				pl, err := Compile(p, name)
+				if err != nil {
+					t.Fatalf("%s: compile %v: %v", src, name, err)
+				}
+				if pl.Engine() != name {
+					t.Fatalf("plan engine = %v, want %v", pl.Engine(), name)
+				}
+				got, err := pl.Count(b)
+				if err != nil {
+					t.Fatalf("%s engine %v: %v", src, name, err)
+				}
+				if got.Cmp(want) != 0 {
+					t.Fatalf("%s engine %v seed %d: %v != %v", src, name, seed, got, want)
+				}
+			}
+		}
+	}
+}
+
+// The packed-uint64 and wide-bag spill paths must produce identical
+// counts: force the spill path by shrinking the key budget to zero.
+func TestPackedAndSpillKeysAgree(t *testing.T) {
+	sig := workload.EdgeSig()
+	queries := []string{
+		"q(w,x,y,z) := E(w,x) & E(x,y) & E(y,z)",
+		"q(x,y,z) := E(x,y) & E(y,z) & E(z,x)",
+		"q(x,y) := exists u. E(x,u) & E(u,y)",
+	}
+	for _, src := range queries {
+		p := compilePP(t, sig, src)
+		for seed := int64(0); seed < 6; seed++ {
+			b := workload.RandomStructure(sig, 9, 0.3, seed)
+			pl, err := Compile(p, FPT)
+			if err != nil {
+				t.Fatal(err)
+			}
+			packed, err := pl.Count(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			restore := SetPackedKeyBudget(0)
+			spilled, err := pl.Count(b)
+			restore()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if packed.Cmp(spilled) != 0 {
+				t.Fatalf("%s seed %d: packed %v != spilled %v", src, seed, packed, spilled)
+			}
+		}
+	}
+}
+
+func TestKeyCodecRoundTrip(t *testing.T) {
+	for _, domSize := range []int{1, 2, 3, 17, 1000} {
+		for width := 0; width <= 6; width++ {
+			c := newKeyCodec(domSize, width)
+			vals := make([]int, width)
+			for i := range vals {
+				vals[i] = (i * 7919) % domSize
+			}
+			if !c.packed {
+				continue
+			}
+			out := make([]int, width)
+			c.unpack(c.pack(vals), out)
+			for i := range vals {
+				if out[i] != vals[i] {
+					t.Fatalf("domSize %d width %d: round trip %v != %v", domSize, width, out, vals)
+				}
+			}
+		}
+	}
+}
+
+// wnum must transparently fall back to big.Int on overflow.
+func TestWnumOverflow(t *testing.T) {
+	half := wnum{lo: math.MaxInt64/2 + 1}
+	sum := addW(half, half)
+	if sum.b == nil {
+		t.Fatal("int64 addition overflow not detected")
+	}
+	want := new(big.Int).Add(big.NewInt(math.MaxInt64/2+1), big.NewInt(math.MaxInt64/2+1))
+	if sum.toBig().Cmp(want) != 0 {
+		t.Fatalf("overflowed sum = %v, want %v", sum.toBig(), want)
+	}
+
+	big3 := wnum{lo: 1 << 32}
+	prod := mulW(big3, big3)
+	if prod.b == nil {
+		t.Fatal("int64 multiplication overflow not detected")
+	}
+	wantP := new(big.Int).Lsh(big.NewInt(1), 64)
+	if prod.toBig().Cmp(wantP) != 0 {
+		t.Fatalf("overflowed product = %v, want %v", prod.toBig(), wantP)
+	}
+
+	// In-range arithmetic stays on the fast path.
+	s := addW(wnum{lo: 40}, wnum{lo: 2})
+	m := mulW(s, wnum{lo: 100})
+	if s.b != nil || m.b != nil || m.lo != 4200 {
+		t.Fatalf("fast path: got %+v, %+v", s, m)
+	}
+	// Mixed-mode arithmetic is exact.
+	mixed := mulW(prod, wnum{lo: 3})
+	wantM := new(big.Int).Mul(wantP, big.NewInt(3))
+	if mixed.toBig().Cmp(wantM) != 0 {
+		t.Fatalf("mixed product = %v, want %v", mixed.toBig(), wantM)
+	}
+}
+
+// End-to-end overflow: counting homomorphisms of a long path into a
+// large complete graph with loops exceeds int64 inside the DP and must
+// still be exact.  hom(P_k, K_n^loop) = n^(k+1).
+func TestExecutorBigIntFallbackEndToEnd(t *testing.T) {
+	const n, edges = 41, 12 // 41^13 ≈ 2^69.6 > MaxInt64
+	b := structure.New(workload.EdgeSig())
+	for i := 0; i < n; i++ {
+		if _, err := b.AddElem(fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if err := b.AddTuple("E", i, j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Path with every variable liberal: the count is the number of
+	// homomorphisms.
+	a := structure.New(workload.EdgeSig())
+	all := make([]int, edges+1)
+	for i := range all {
+		v, err := a.AddElem(fmt.Sprintf("x%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		all[i] = v
+	}
+	for i := 0; i < edges; i++ {
+		if err := a.AddTuple("E", i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := pp.New(a, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Compile(p, FPTNoCore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pl.Count(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Int).Exp(big.NewInt(n), big.NewInt(edges+1), nil)
+	if got.Cmp(want) != 0 {
+		t.Fatalf("hom(P_%d, K_%d^loop) = %v, want %v", edges, n, got, want)
+	}
+	if got.IsInt64() {
+		t.Fatalf("test is too small to force the big.Int fallback: %v", got)
+	}
+}
+
+// Sessions share materialized tables across plans and repeated counts,
+// and are invalidated by structure mutation.
+func TestSessionReuseAndInvalidation(t *testing.T) {
+	sig := workload.EdgeSig()
+	p := compilePP(t, sig, "q(x,y) := E(x,y)")
+	b := workload.RandomStructure(sig, 5, 0.4, 1)
+
+	s1 := SessionFor(b)
+	if s2 := SessionFor(b); s2 != s1 {
+		t.Fatal("unchanged structure must reuse its session")
+	}
+	pl, err := Compile(p, FPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := pl.CountIn(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1.tables) == 0 {
+		t.Fatal("counting materialized no tables in the session")
+	}
+	fp1 := s1.Fingerprint()
+	if !s1.Valid() {
+		t.Fatal("session should be valid before mutation")
+	}
+
+	// Mutate: the session registry must hand out a fresh session and the
+	// count must change accordingly.
+	if err := b.AddTuple("E", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s1.Valid() {
+		t.Fatal("session should be stale after mutation")
+	}
+	s3 := SessionFor(b)
+	if s3 == s1 {
+		t.Fatal("stale session must be replaced")
+	}
+	if s3.Fingerprint() == fp1 {
+		t.Fatal("fingerprint should change when tuples change")
+	}
+	after, err := pl.CountIn(s3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAfter := new(big.Int).Add(before, big.NewInt(1))
+	if after.Cmp(wantAfter) != 0 {
+		t.Fatalf("count after adding a loop = %v, want %v", after, wantAfter)
+	}
+
+	// Explicit release drops the cached session.
+	ReleaseSession(b)
+	if s4 := SessionFor(b); s4 == s3 {
+		t.Fatal("ReleaseSession must evict the cached session")
+	}
+}
+
+func TestRunBounded(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		got := make([]int, 100)
+		err := RunBounded(len(got), workers, func(i int) error {
+			got[i] = i + 1
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i+1 {
+				t.Fatalf("workers=%d: index %d not executed", workers, i)
+			}
+		}
+	}
+	wantErr := fmt.Errorf("boom")
+	err := RunBounded(50, 4, func(i int) error {
+		if i == 7 {
+			return wantErr
+		}
+		return nil
+	})
+	if err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+}
+
+func TestParseNameRoundTrip(t *testing.T) {
+	for _, n := range Names() {
+		got, err := ParseName(n.String())
+		if err != nil || got != n {
+			t.Fatalf("ParseName(%q) = %v, %v", n.String(), got, err)
+		}
+	}
+	if _, err := ParseName("quantum"); err == nil {
+		t.Fatal("unknown engine should fail")
+	}
+}

@@ -1,0 +1,402 @@
+package engine
+
+import (
+	"math"
+	"math/big"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// The executor runs the join-count dynamic program over a compiled
+// component.  Node tables map bag assignments to the number of extensions
+// over the subtree's variables; children merge by grouping on shared bag
+// variables; bag assignments are enumerated by joining the local
+// constraint tables smallest-first and free-enumerating locally
+// unconstrained bag variables.
+//
+// Two representation choices make this the hot path's fast path:
+//
+//   - bag assignments are packed into uint64 keys (⌈log₂ |B|⌉ bits per
+//     variable) whenever they fit, spilling to byte-string keys only for
+//     wide bags;
+//   - extension counts are int64 until an addition or multiplication
+//     would overflow, then fall back to big.Int per entry.
+
+// packedKeyBudget is the number of key bits available before the packed
+// representation spills to strings.  It is a variable (not a constant)
+// only so tests can force the spill path on small instances; it is
+// atomic because the executor reads it from concurrent workers.
+var packedKeyBudget atomic.Int64
+
+func init() { packedKeyBudget.Store(64) }
+
+// SetPackedKeyBudget overrides the packed-key bit budget and returns a
+// restore function.  Test hook: forcing the budget to 0 routes every bag
+// through the wide-bag spill path.  Restore re-installs the value seen
+// at override time, so callers must not interleave override/restore
+// pairs.
+func SetPackedKeyBudget(bits int) (restore func()) {
+	old := packedKeyBudget.Swap(int64(bits))
+	return func() { packedKeyBudget.Store(old) }
+}
+
+// keyCodec packs fixed-width assignments of values in [0, domSize) into
+// uint64 keys, or marks the width as spilled.
+type keyCodec struct {
+	bits   uint
+	width  int
+	packed bool
+}
+
+func newKeyCodec(domSize, width int) keyCodec {
+	b := uint(bits.Len(uint(domSize - 1)))
+	if b == 0 {
+		b = 1
+	}
+	return keyCodec{bits: b, width: width, packed: int64(width)*int64(b) <= packedKeyBudget.Load()}
+}
+
+func (c keyCodec) pack(vals []int) uint64 {
+	var k uint64
+	for _, v := range vals {
+		k = k<<c.bits | uint64(v)
+	}
+	return k
+}
+
+func (c keyCodec) unpack(key uint64, out []int) {
+	mask := uint64(1)<<c.bits - 1
+	for i := c.width - 1; i >= 0; i-- {
+		out[i] = int(key & mask)
+		key >>= c.bits
+	}
+}
+
+// spillKey is the byte-string encoding used when a bag does not fit the
+// packed budget.  buf is reused between calls; the returned string is a
+// fresh allocation (it must be, to serve as a map key).
+func spillKey(vals []int, buf []byte) string {
+	buf = buf[:0]
+	for _, v := range vals {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(buf)
+}
+
+func spillDecode(key string, out []int) {
+	for i := range out {
+		o := 4 * i
+		out[i] = int(key[o]) | int(key[o+1])<<8 | int(key[o+2])<<16 | int(key[o+3])<<24
+	}
+}
+
+// wnum is a non-negative extension count: int64 while it fits, big.Int
+// after the first overflow.  The zero value is 0.
+type wnum struct {
+	lo int64    // valid iff b == nil
+	b  *big.Int // nil in the fast path
+}
+
+func (w wnum) isZero() bool {
+	if w.b != nil {
+		return w.b.Sign() == 0
+	}
+	return w.lo == 0
+}
+
+func (w wnum) toBig() *big.Int {
+	if w.b != nil {
+		return w.b
+	}
+	return big.NewInt(w.lo)
+}
+
+// addInto accumulates w into acc (mutating acc, which the caller owns).
+func (w wnum) addInto(acc *big.Int) {
+	if w.b != nil {
+		acc.Add(acc, w.b)
+		return
+	}
+	var t big.Int
+	t.SetInt64(w.lo)
+	acc.Add(acc, &t)
+}
+
+func addW(a, b wnum) wnum {
+	if a.b == nil && b.b == nil {
+		s := a.lo + b.lo
+		if s >= 0 { // both operands are non-negative: wrap ⇒ negative
+			return wnum{lo: s}
+		}
+	}
+	return wnum{b: new(big.Int).Add(a.toBig(), b.toBig())}
+}
+
+func mulW(a, b wnum) wnum {
+	if a.b == nil && b.b == nil {
+		hi, lo := bits.Mul64(uint64(a.lo), uint64(b.lo))
+		if hi == 0 && lo <= math.MaxInt64 {
+			return wnum{lo: int64(lo)}
+		}
+	}
+	return wnum{b: new(big.Int).Mul(a.toBig(), b.toBig())}
+}
+
+// wmap is a keyed accumulator of wnums: packed (uint64 keys) or spilled
+// (string keys), chosen by the codec.
+type wmap struct {
+	codec keyCodec
+	pk    map[uint64]wnum
+	sk    map[string]wnum
+}
+
+func newWmap(codec keyCodec) *wmap {
+	m := &wmap{codec: codec}
+	if codec.packed {
+		m.pk = make(map[uint64]wnum)
+	} else {
+		m.sk = make(map[string]wnum)
+	}
+	return m
+}
+
+// add accumulates w at the key for vals.  buf is scratch for spill keys.
+func (m *wmap) add(vals []int, w wnum, buf []byte) {
+	if m.codec.packed {
+		k := m.codec.pack(vals)
+		m.pk[k] = addW(m.pk[k], w)
+		return
+	}
+	k := spillKey(vals, buf)
+	m.sk[k] = addW(m.sk[k], w)
+}
+
+// get looks up the weight at vals; ok reports presence.
+func (m *wmap) get(vals []int, buf []byte) (wnum, bool) {
+	if m.codec.packed {
+		w, ok := m.pk[m.codec.pack(vals)]
+		return w, ok
+	}
+	w, ok := m.sk[spillKey(vals, buf)]
+	return w, ok
+}
+
+// forEach visits every (assignment, weight) pair, decoding keys into the
+// supplied scratch slice (len == codec.width, reused between visits).
+func (m *wmap) forEach(vals []int, fn func(vals []int, w wnum)) {
+	if m.codec.packed {
+		for k, w := range m.pk {
+			m.codec.unpack(k, vals)
+			fn(vals, w)
+		}
+		return
+	}
+	for k, w := range m.sk {
+		spillDecode(k, vals)
+		fn(vals, w)
+	}
+}
+
+// Table is a materialized constraint: the set of allowed assignments over
+// its scope (variable positions), deduplicated.  Tables are immutable
+// once built and shared across plans via the Session.
+type Table struct {
+	tuples [][]int
+}
+
+// Len returns the number of distinct rows.
+func (t *Table) Len() int { return len(t.tuples) }
+
+// execScratch holds the per-call buffers of the executor, pooled across
+// calls to keep the inner loop allocation-free.
+type execScratch struct {
+	assign   []int
+	assigned []bool
+	proj     []int
+	vals     []int
+	freeIdx  []int
+	bound    []int // stack of bound bag positions across rec levels
+	keyBuf   []byte
+}
+
+var scratchPool = sync.Pool{New: func() any { return &execScratch{} }}
+
+func (sc *execScratch) ensure(width int) {
+	if cap(sc.assign) < width {
+		sc.assign = make([]int, width)
+		sc.assigned = make([]bool, width)
+		sc.proj = make([]int, width)
+		sc.vals = make([]int, width)
+		sc.freeIdx = make([]int, width)
+		sc.keyBuf = make([]byte, 0, 4*width)
+	}
+	sc.bound = sc.bound[:0]
+}
+
+// joinCount runs the join-count DP over the compiled decomposition and
+// returns the total number of assignments of the component's active
+// variables (with multiplicities counting extensions of the quantified
+// subtree variables — which are none at the root, so the total is exact).
+func joinCount(pc *planComponent, tables []*Table, domSize int) *big.Int {
+	dec := pc.dec
+	sc := scratchPool.Get().(*execScratch)
+	maxWidth := 0
+	for _, bag := range dec.Bags {
+		if len(bag) > maxWidth {
+			maxWidth = len(bag)
+		}
+	}
+	sc.ensure(maxWidth)
+	defer scratchPool.Put(sc)
+
+	type nodeTable struct {
+		vars []int
+		m    *wmap
+	}
+	memo := make([]*nodeTable, len(dec.Bags))
+
+	var process func(ni int) *nodeTable
+	process = func(ni int) *nodeTable {
+		if memo[ni] != nil {
+			return memo[ni]
+		}
+		bag := dec.Bags[ni]
+		nt := &nodeTable{vars: bag, m: newWmap(newKeyCodec(domSize, len(bag)))}
+
+		type childGroup struct {
+			shared []int // indices into bag
+			sums   *wmap
+		}
+		var groups []childGroup
+		for _, c := range pc.children[ni] {
+			ct := process(c)
+			sharedBagIdx, sharedChildIdx := sharedPositions(bag, ct.vars)
+			g := childGroup{shared: sharedBagIdx, sums: newWmap(newKeyCodec(domSize, len(sharedChildIdx)))}
+			proj := make([]int, len(sharedChildIdx))
+			vals := make([]int, len(ct.vars))
+			ct.m.forEach(vals, func(vals []int, w wnum) {
+				for i, ci := range sharedChildIdx {
+					proj[i] = vals[ci]
+				}
+				g.sums.add(proj, w, sc.keyBuf)
+			})
+			groups = append(groups, g)
+			memo[c] = nil // child table is folded in; free it for GC
+		}
+
+		cons := append([]int(nil), pc.consAt[ni]...)
+		sort.Slice(cons, func(i, j int) bool {
+			return tables[cons[i]].Len() < tables[cons[j]].Len()
+		})
+		bagPos := make(map[int]int, len(bag))
+		for i, v := range bag {
+			bagPos[v] = i
+		}
+		assign := sc.assign[:len(bag)]
+		assigned := sc.assigned[:len(bag)]
+		for i := range assigned {
+			assigned[i] = false
+		}
+
+		emit := func() {
+			weight := wnum{lo: 1}
+			for _, g := range groups {
+				proj := sc.proj[:len(g.shared)]
+				for i, bi := range g.shared {
+					proj[i] = assign[bi]
+				}
+				s, ok := g.sums.get(proj, sc.keyBuf)
+				if !ok {
+					return
+				}
+				weight = mulW(weight, s)
+			}
+			nt.m.add(assign, weight, sc.keyBuf)
+		}
+
+		var rec func(ci int)
+		rec = func(ci int) {
+			if ci == len(cons) {
+				freeIdx := sc.freeIdx[:0]
+				for i := range bag {
+					if !assigned[i] {
+						freeIdx = append(freeIdx, i)
+					}
+				}
+				var fill func(k int)
+				fill = func(k int) {
+					if k == len(freeIdx) {
+						emit()
+						return
+					}
+					for v := 0; v < domSize; v++ {
+						assign[freeIdx[k]] = v
+						assigned[freeIdx[k]] = true
+						fill(k + 1)
+					}
+					assigned[freeIdx[k]] = false
+				}
+				fill(0)
+				return
+			}
+			t := tables[cons[ci]]
+			scope := pc.constraints[cons[ci]].scope
+		tupleLoop:
+			for _, tup := range t.tuples {
+				// sc.bound is a stack shared across rec levels: this level
+				// pushes its bindings and pops back to base on exit.
+				base := len(sc.bound)
+				for j, s := range scope {
+					bi := bagPos[s]
+					if assigned[bi] {
+						if assign[bi] != tup[j] {
+							for _, u := range sc.bound[base:] {
+								assigned[u] = false
+							}
+							sc.bound = sc.bound[:base]
+							continue tupleLoop
+						}
+					} else {
+						assign[bi] = tup[j]
+						assigned[bi] = true
+						sc.bound = append(sc.bound, bi)
+					}
+				}
+				rec(ci + 1)
+				for _, u := range sc.bound[base:] {
+					assigned[u] = false
+				}
+				sc.bound = sc.bound[:base]
+			}
+		}
+		rec(0)
+		memo[ni] = nt
+		return nt
+	}
+
+	rt := process(pc.root)
+	total := new(big.Int)
+	vals := sc.vals[:rt.m.codec.width]
+	rt.m.forEach(vals, func(_ []int, w wnum) {
+		w.addInto(total)
+	})
+	return total
+}
+
+// sharedPositions returns, for the variables common to bag and childVars,
+// their indices in each.
+func sharedPositions(bag, childVars []int) (bagIdx, childIdx []int) {
+	pos := make(map[int]int, len(bag))
+	for i, v := range bag {
+		pos[v] = i
+	}
+	for j, v := range childVars {
+		if i, ok := pos[v]; ok {
+			bagIdx = append(bagIdx, i)
+			childIdx = append(childIdx, j)
+		}
+	}
+	return
+}

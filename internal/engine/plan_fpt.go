@@ -1,4 +1,4 @@
-package count
+package engine
 
 import (
 	"fmt"
@@ -6,21 +6,21 @@ import (
 	"sort"
 
 	"repro/internal/graph"
-	"repro/internal/hom"
 	"repro/internal/pp"
 	"repro/internal/structure"
 	"repro/internal/tw"
 )
 
-// Plan is a compiled counting plan for a fixed pp-formula: everything
-// that depends only on the formula — the core, its components, the
-// ∃-components with their interfaces, the contract-graph tree
-// decompositions and the constraint-to-bag assignment — is computed once,
-// so that repeated counts against different structures only materialize
-// the structure-dependent predicate tables and run the join-count DP
-// (the "preprocess the parameter, then count fast" reading of
-// Theorem 2.11 / fixed-parameter tractability).
-type Plan struct {
+// fptPlan is the compiled form of the Theorem 2.11 counting algorithm for
+// a fixed pp-formula: everything that depends only on the formula — the
+// core, its components, the ∃-components with their interfaces, the
+// contract-graph tree decompositions and the constraint-to-bag assignment
+// — is computed once, so that repeated counts against different
+// structures only materialize the structure-dependent predicate tables
+// (cached in the Session) and run the join-count DP (exec.go).
+type fptPlan struct {
+	name  Name
+	p     pp.PP
 	sig   *structure.Signature
 	comps []*planComponent
 }
@@ -36,6 +36,10 @@ type planConstraint struct {
 	// Predicate constraint:
 	sub   *structure.Structure // ∃-component structure (nil for atoms)
 	iface []int                // projection elements inside sub, aligned with scope
+
+	// key identifies the materialized table of this constraint within a
+	// Session, enabling sharing across plans and repeated counts.
+	key tableKey
 }
 
 type planComponent struct {
@@ -56,9 +60,10 @@ type planComponent struct {
 	root        int
 }
 
-// NewPlan compiles a counting plan.  useCore selects whether the formula
-// is replaced by its core first (always sound; EngineFPTNoCore skips it).
-func NewPlan(p pp.PP, useCore bool) (*Plan, error) {
+// newFPTPlan compiles a counting plan.  useCore selects whether the
+// formula is replaced by its core first (always sound; FPTNoCore skips
+// it).
+func newFPTPlan(p pp.PP, name Name, useCore bool) (*fptPlan, error) {
 	d := p
 	if useCore {
 		var err error
@@ -67,7 +72,7 @@ func NewPlan(p pp.PP, useCore bool) (*Plan, error) {
 			return nil, err
 		}
 	}
-	plan := &Plan{sig: p.A.Signature()}
+	plan := &fptPlan{name: name, p: p, sig: p.A.Signature()}
 	for _, comp := range d.Components() {
 		pc, err := compileComponent(comp)
 		if err != nil {
@@ -174,6 +179,7 @@ func compileComponent(comp pp.PP) (*planComponent, error) {
 		for j, s := range cons[i].scope {
 			cons[i].scope[j] = oldToNew[s]
 		}
+		cons[i].key = makeTableKey(&cons[i])
 	}
 
 	pc := &planComponent{
@@ -181,13 +187,9 @@ func compileComponent(comp pp.PP) (*planComponent, error) {
 		freeVars:    free,
 		constraints: cons,
 	}
-	// Degenerate: quantified-only parts with empty interfaces behave as
-	// sentence sub-checks; attach them as predicate constraints with empty
-	// scope by turning the component into a compound.  Simpler: treat each
-	// as an extra sentence component.
-	for _, s := range sentences {
-		pc.extraSentences = append(pc.extraSentences, s)
-	}
+	// Quantified-only parts with empty interfaces behave as sentence
+	// sub-checks: treat each as an extra sentence component.
+	pc.extraSentences = append(pc.extraSentences, sentences...)
 	if nActive > 0 {
 		cg := graph.New(nActive)
 		for _, c := range cons {
@@ -206,7 +208,7 @@ func compileComponent(comp pp.PP) (*planComponent, error) {
 				}
 			}
 			if !placed {
-				return nil, fmt.Errorf("count: constraint scope %v fits in no bag", c.scope)
+				return nil, fmt.Errorf("engine: constraint scope %v fits in no bag", c.scope)
 			}
 		}
 		pc.children = make([][]int, len(dec.Bags))
@@ -222,17 +224,28 @@ func compileComponent(comp pp.PP) (*planComponent, error) {
 	return pc, nil
 }
 
-// Count executes the plan against a structure.
-func (pl *Plan) Count(b *structure.Structure) (*big.Int, error) {
+func (pl *fptPlan) Engine() Name   { return pl.name }
+func (pl *fptPlan) Formula() pp.PP { return pl.p }
+
+// Count executes the plan against a structure via an ephemeral or cached
+// session (see SessionFor).
+func (pl *fptPlan) Count(b *structure.Structure) (*big.Int, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
+	return pl.CountIn(SessionFor(b))
+}
+
+// CountIn executes the plan inside a session, reusing any constraint
+// tables already materialized there.
+func (pl *fptPlan) CountIn(s *Session) (*big.Int, error) {
+	b := s.B
 	if !pl.sig.Equal(b.Signature()) {
-		return nil, fmt.Errorf("count: plan signature %v differs from structure signature %v", pl.sig, b.Signature())
+		return nil, errSignature(pl.p, b)
 	}
 	total := big.NewInt(1)
 	for _, pc := range pl.comps {
-		f, err := pc.count(b)
+		f, err := pc.count(s)
 		if err != nil {
 			return nil, err
 		}
@@ -244,59 +257,45 @@ func (pl *Plan) Count(b *structure.Structure) (*big.Int, error) {
 	return total, nil
 }
 
-func (pc *planComponent) count(b *structure.Structure) (*big.Int, error) {
+func (pc *planComponent) count(s *Session) (*big.Int, error) {
 	if pc.sentence {
-		if hom.Exists(pc.structureOnly, b, hom.Options{}) {
+		if s.SentenceHolds(pc.structureOnly) {
 			return big.NewInt(1), nil
 		}
 		return new(big.Int), nil
 	}
-	for _, s := range pc.extraSentences {
-		if !hom.Exists(s, b, hom.Options{}) {
+	for _, sub := range pc.extraSentences {
+		if !s.SentenceHolds(sub) {
 			return new(big.Int), nil
 		}
 	}
-	result := new(big.Int).Exp(big.NewInt(int64(b.Size())), big.NewInt(int64(pc.freeVars)), nil)
+	result := structure.PowerSize(s.B, pc.freeVars)
 	if pc.nActive == 0 {
 		return result, nil
 	}
-	// Materialize tables for this structure.
-	tables := make([]relTable, len(pc.constraints))
-	for ci, c := range pc.constraints {
-		tab := relTable{scope: c.scope, member: map[string]bool{}}
-		if c.sub == nil {
-			// Atom constraint: project B's relation through the template.
-		tupleLoop:
-			for _, u := range b.Tuples(c.rel) {
-				vals := make([]int, len(c.scope))
-				seen := make([]bool, len(c.scope))
-				for j, si := range c.atomTmpl {
-					if seen[si] && vals[si] != u[j] {
-						continue tupleLoop
-					}
-					vals[si] = u[j]
-					seen[si] = true
-				}
-				key := encodeVals(vals)
-				if !tab.member[key] {
-					tab.member[key] = true
-					tab.tuples = append(tab.tuples, vals)
-				}
-			}
-		} else {
-			hom.ForEachExtendable(c.sub, b, c.iface, hom.Options{}, func(vals []int) bool {
-				cp := append([]int(nil), vals...)
-				tab.tuples = append(tab.tuples, cp)
-				tab.member[encodeVals(cp)] = true
-				return true
-			})
-		}
-		tables[ci] = tab
+	tables := make([]*Table, len(pc.constraints))
+	for ci := range pc.constraints {
+		tables[ci] = s.tableFor(&pc.constraints[ci])
 	}
-	joined, err := joinCountPlan(pc, tables, b.Size())
-	if err != nil {
-		return nil, err
-	}
+	joined := joinCount(pc, tables, s.B.Size())
 	result.Mul(result, joined)
 	return result, nil
+}
+
+func errSignature(p pp.PP, b *structure.Structure) error {
+	return fmt.Errorf("engine: plan signature %v differs from structure signature %v",
+		p.A.Signature(), b.Signature())
+}
+
+func containsAll(set, subset []int) bool {
+	m := make(map[int]bool, len(set))
+	for _, v := range set {
+		m[v] = true
+	}
+	for _, v := range subset {
+		if !m[v] {
+			return false
+		}
+	}
+	return true
 }

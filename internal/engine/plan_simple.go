@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"math/big"
+
+	"repro/internal/hom"
+	"repro/internal/pp"
+	"repro/internal/structure"
+)
+
+// brutePlan enumerates every f : S → B and checks extendability — the
+// reference semantics.  Nothing is precompiled; the plan is the formula.
+type brutePlan struct {
+	p pp.PP
+}
+
+func (pl *brutePlan) Engine() Name   { return Brute }
+func (pl *brutePlan) Formula() pp.PP { return pl.p }
+
+func (pl *brutePlan) Count(b *structure.Structure) (*big.Int, error) {
+	if err := checkStructure(pl.p, b); err != nil {
+		return nil, err
+	}
+	return pl.count(b), nil
+}
+
+func (pl *brutePlan) CountIn(s *Session) (*big.Int, error) { return pl.Count(s.B) }
+
+func (pl *brutePlan) count(b *structure.Structure) *big.Int {
+	p := pl.p
+	n := b.Size()
+	total := new(big.Int)
+	one := big.NewInt(1)
+	pin := make(map[int]int, len(p.S))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(p.S) {
+			cp := make(map[int]int, len(pin))
+			for k, v := range pin {
+				cp[k] = v
+			}
+			if hom.Exists(p.A, b, hom.Options{Pin: cp}) {
+				total.Add(total, one)
+			}
+			return
+		}
+		for e := 0; e < n; e++ {
+			pin[p.S[i]] = e
+			rec(i + 1)
+		}
+		delete(pin, p.S[i])
+	}
+	rec(0)
+	return total
+}
+
+// projectionPlan counts per component (|φ(B)| = ∏|φᵢ(B)|, Section 2.1) and
+// enumerates extendable liberal assignments with the propagating solver.
+// The component split is done at compile time.
+type projectionPlan struct {
+	p     pp.PP
+	comps []pp.PP
+}
+
+func newProjectionPlan(p pp.PP) *projectionPlan {
+	return &projectionPlan{p: p, comps: p.Components()}
+}
+
+func (pl *projectionPlan) Engine() Name   { return Projection }
+func (pl *projectionPlan) Formula() pp.PP { return pl.p }
+
+func (pl *projectionPlan) Count(b *structure.Structure) (*big.Int, error) {
+	if err := checkStructure(pl.p, b); err != nil {
+		return nil, err
+	}
+	return pl.count(b), nil
+}
+
+func (pl *projectionPlan) CountIn(s *Session) (*big.Int, error) { return pl.Count(s.B) }
+
+func (pl *projectionPlan) count(b *structure.Structure) *big.Int {
+	total := big.NewInt(1)
+	for _, comp := range pl.comps {
+		factor := new(big.Int)
+		if len(comp.S) == 0 {
+			if hom.Exists(comp.A, b, hom.Options{}) {
+				factor.SetInt64(1)
+			}
+		} else if comp.A.NumTuples() == 0 {
+			// Isolated liberal variables: every assignment works.
+			factor = structure.PowerSize(b, len(comp.S))
+		} else {
+			one := big.NewInt(1)
+			hom.ForEachExtendable(comp.A, b, comp.S, hom.Options{}, func([]int) bool {
+				factor.Add(factor, one)
+				return true
+			})
+		}
+		if factor.Sign() == 0 {
+			return new(big.Int)
+		}
+		total.Mul(total, factor)
+	}
+	return total
+}
+
+// checkStructure validates the structure and its signature against the
+// plan's formula; shared by every engine.
+func checkStructure(p pp.PP, b *structure.Structure) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	if !p.A.Signature().Equal(b.Signature()) {
+		return errSignature(p, b)
+	}
+	return nil
+}

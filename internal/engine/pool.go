@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunBounded executes fn(0)…fn(n-1) on a bounded pool of goroutines
+// (workers ≤ 0 means GOMAXPROCS).  Once any call errors, no further
+// indices are started; the first error (by index order of observation) is
+// returned after all in-flight calls finish.  Replaces the
+// goroutine-per-task fan-out previously used for φ⁻af terms.
+func RunBounded(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		errOnce sync.Once
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { firstEr = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}

@@ -1,0 +1,233 @@
+package engine
+
+import (
+	"hash/fnv"
+	"strconv"
+	"sync"
+
+	"repro/internal/hom"
+	"repro/internal/structure"
+)
+
+// Session is the per-structure state of the counting pipeline: the
+// structure's fingerprint (computed once), the materialized constraint
+// tables, and cached sentence checks.  One session serves every φ⁻af term
+// of a compiled query, repeated Count calls, and batched counting — each
+// distinct constraint scheme is materialized against the structure
+// exactly once.  Sessions are safe for concurrent use.
+type Session struct {
+	B *structure.Structure
+
+	version uint64
+	fp      uint64
+
+	mu        sync.Mutex
+	tables    map[tableKey]*tableEntry
+	sentences map[*structure.Structure]bool
+}
+
+// tableEntry guards one table's materialization: the registry lock is
+// only held to install the entry, so distinct tables build concurrently
+// while duplicate requests wait on the entry's Once.
+type tableEntry struct {
+	once sync.Once
+	t    *Table
+}
+
+// NewSession builds a fresh session for b, fingerprinting it once.
+func NewSession(b *structure.Structure) *Session {
+	return &Session{
+		B:         b,
+		version:   b.Version(),
+		fp:        fingerprint(b),
+		tables:    make(map[tableKey]*tableEntry),
+		sentences: make(map[*structure.Structure]bool),
+	}
+}
+
+// Fingerprint returns the FNV-1a hash of the structure's universe and
+// tuples, computed once at session creation.
+func (s *Session) Fingerprint() uint64 { return s.fp }
+
+// Valid reports whether the structure is unchanged since the session was
+// created (sessions must be discarded after mutation).
+func (s *Session) Valid() bool { return s.B.Version() == s.version }
+
+func fingerprint(b *structure.Structure) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeInt := func(v int) {
+		u := uint64(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(u >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	writeInt(b.Size())
+	for _, r := range b.Signature().Rels() {
+		h.Write([]byte(r.Name))
+		for _, t := range b.Tuples(r.Name) {
+			for _, v := range t {
+				writeInt(v)
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// SentenceHolds reports whether sub maps homomorphically into the
+// session's structure, caching the answer per sub-structure identity.
+func (s *Session) SentenceHolds(sub *structure.Structure) bool {
+	s.mu.Lock()
+	ok, cached := s.sentences[sub]
+	s.mu.Unlock()
+	if cached {
+		return ok
+	}
+	ok = hom.Exists(sub, s.B, hom.Options{})
+	s.mu.Lock()
+	s.sentences[sub] = ok
+	s.mu.Unlock()
+	return ok
+}
+
+// tableKey identifies a constraint scheme's materialization: atom tables
+// by (relation, projection template), predicate tables by the identity of
+// the ∃-component structure and its interface.  Two constraints with the
+// same key have identical tables on any structure.
+type tableKey struct {
+	kind byte // 'a' atom, 'p' predicate
+	rel  string
+	sub  *structure.Structure
+	enc  string
+}
+
+func makeTableKey(c *planConstraint) tableKey {
+	if c.sub == nil {
+		return tableKey{kind: 'a', rel: c.rel, enc: encodeInts(c.atomTmpl) + ";" + strconv.Itoa(len(c.scope))}
+	}
+	return tableKey{kind: 'p', sub: c.sub, enc: encodeInts(c.iface)}
+}
+
+func encodeInts(vals []int) string {
+	buf := make([]byte, 0, 4*len(vals))
+	for _, v := range vals {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(buf)
+}
+
+// tableFor returns the materialized table of the constraint, building it
+// on first use and sharing it afterwards.  Distinct constraints
+// materialize concurrently; duplicate requests block only on their own
+// table.
+func (s *Session) tableFor(c *planConstraint) *Table {
+	s.mu.Lock()
+	e := s.tables[c.key]
+	if e == nil {
+		e = &tableEntry{}
+		s.tables[c.key] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.t = s.materialize(c) })
+	return e.t
+}
+
+func (s *Session) materialize(c *planConstraint) *Table {
+	t := &Table{}
+	width := len(c.scope)
+	if c.sub == nil {
+		// Atom constraint: project B's relation through the template,
+		// deduplicating rows (packed keys when they fit).
+		codec := newKeyCodec(s.B.Size(), width)
+		var seenPK map[uint64]bool
+		var seenSK map[string]bool
+		if codec.packed {
+			seenPK = make(map[uint64]bool)
+		} else {
+			seenSK = make(map[string]bool)
+		}
+		var keyBuf []byte
+		vals := make([]int, width)
+		seen := make([]bool, width)
+	tupleLoop:
+		for _, u := range s.B.Tuples(c.rel) {
+			for i := range seen {
+				seen[i] = false
+			}
+			for j, si := range c.atomTmpl {
+				if seen[si] && vals[si] != u[j] {
+					continue tupleLoop
+				}
+				vals[si] = u[j]
+				seen[si] = true
+			}
+			if codec.packed {
+				k := codec.pack(vals)
+				if seenPK[k] {
+					continue
+				}
+				seenPK[k] = true
+			} else {
+				k := spillKey(vals, keyBuf)
+				if seenSK[k] {
+					continue
+				}
+				seenSK[k] = true
+			}
+			t.tuples = append(t.tuples, append([]int(nil), vals...))
+		}
+		return t
+	}
+	// ∃-component predicate: the extendable interface assignments.  Each
+	// distinct assignment is reported exactly once.
+	hom.ForEachExtendable(c.sub, s.B, c.iface, hom.Options{}, func(vals []int) bool {
+		t.tuples = append(t.tuples, append([]int(nil), vals...))
+		return true
+	})
+	return t
+}
+
+// The session registry memoizes sessions per structure identity, keyed by
+// pointer and validated by mutation version, so one-shot Plan.Count calls
+// against a repeatedly used structure share materializations with every
+// other caller.
+const sessionCacheCap = 64
+
+var (
+	sessionMu sync.Mutex
+	sessions  = make(map[*structure.Structure]*Session, sessionCacheCap)
+)
+
+// SessionFor returns the cached session of b, creating (or replacing a
+// stale) one as needed.
+func SessionFor(b *structure.Structure) *Session {
+	v := b.Version()
+	sessionMu.Lock()
+	s := sessions[b]
+	if s == nil || s.version != v {
+		sessionMu.Unlock()
+		ns := NewSession(b) // fingerprinting outside the registry lock
+		sessionMu.Lock()
+		// Re-check: another goroutine may have installed a session while
+		// the fingerprint was computed.
+		if s = sessions[b]; s == nil || s.version != v {
+			if len(sessions) >= sessionCacheCap {
+				sessions = make(map[*structure.Structure]*Session, sessionCacheCap)
+			}
+			sessions[b] = ns
+			s = ns
+		}
+	}
+	sessionMu.Unlock()
+	return s
+}
+
+// ReleaseSession drops b's cached session (if any), releasing its
+// materialized tables.  Long-lived processes that are done with a
+// structure can call this instead of waiting for cap-triggered eviction.
+func ReleaseSession(b *structure.Structure) {
+	sessionMu.Lock()
+	delete(sessions, b)
+	sessionMu.Unlock()
+}

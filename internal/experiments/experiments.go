@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/big"
 	"strings"
@@ -23,6 +24,25 @@ type Table struct {
 	Notes   []string
 	// OK aggregates per-row validation (exact-match checks).
 	OK bool
+}
+
+// JSON renders the table as machine-readable JSON (the `BENCH_*.json`
+// format used to track the perf trajectory across PRs): the grid plus an
+// elapsed wall-clock measurement supplied by the caller.
+func (t *Table) JSON(elapsed time.Duration) ([]byte, error) {
+	type payload struct {
+		ID        string     `json:"id"`
+		Title     string     `json:"title"`
+		Columns   []string   `json:"columns"`
+		Rows      [][]string `json:"rows"`
+		Notes     []string   `json:"notes,omitempty"`
+		OK        bool       `json:"ok"`
+		ElapsedNs int64      `json:"elapsed_ns"`
+	}
+	return json.MarshalIndent(payload{
+		ID: t.ID, Title: t.Title, Columns: t.Columns, Rows: t.Rows,
+		Notes: t.Notes, OK: t.OK, ElapsedNs: elapsed.Nanoseconds(),
+	}, "", "  ")
 }
 
 // CSV renders the table as comma-separated values (quotes around cells

@@ -19,6 +19,12 @@ func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
 func (b bitset) clear(i int)    { b[i/64] &^= 1 << (i % 64) }
 func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
 
+func (b bitset) zero() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
 func (b bitset) clone() bitset {
 	c := make(bitset, len(b))
 	copy(c, b)

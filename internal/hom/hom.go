@@ -42,6 +42,47 @@ type solver struct {
 	hasAD   bool
 	initDom []bitset
 	initErr error
+
+	// domFree is a freelist of domain-set copies (one flat backing array
+	// per entry) recycled across search branches; supBuf is the pooled
+	// per-position support scratch of propagate.  A solver serves one
+	// call and is single-threaded, so no locking is needed.
+	domFree [][]bitset
+	supBuf  []bitset
+}
+
+// cloneDoms returns a recycled (or fresh, flat-backed) copy of dom.
+func (s *solver) cloneDoms(dom []bitset) []bitset {
+	if n := len(s.domFree); n > 0 {
+		d := s.domFree[n-1]
+		s.domFree = s.domFree[:n-1]
+		for v := range dom {
+			copy(d[v], dom[v])
+		}
+		return d
+	}
+	words := (s.nB + 63) / 64
+	flat := make([]uint64, s.nA*words)
+	d := make([]bitset, s.nA)
+	for v := range dom {
+		d[v] = flat[v*words : (v+1)*words]
+		copy(d[v], dom[v])
+	}
+	return d
+}
+
+func (s *solver) releaseDoms(d []bitset) { s.domFree = append(s.domFree, d) }
+
+// supports returns ar zeroed support bitsets from the pooled scratch.
+func (s *solver) supports(ar int) []bitset {
+	for len(s.supBuf) < ar {
+		s.supBuf = append(s.supBuf, newBitset(s.nB))
+	}
+	sup := s.supBuf[:ar]
+	for _, b := range sup {
+		b.zero()
+	}
+	return sup
 }
 
 func newSolver(A, B *structure.Structure, opts Options) *solver {
@@ -112,10 +153,7 @@ func (s *solver) propagate(dom []bitset, queue []int) bool {
 		inQueue[ci] = false
 		c := s.cons[ci]
 		ar := len(c.vars)
-		support := make([]bitset, ar)
-		for p := range support {
-			support[p] = newBitset(s.nB)
-		}
+		support := s.supports(ar)
 		// Pick candidate B-tuples: if some position's domain is a
 		// singleton, use the positional index to cut the scan.
 		var cand [][]int
@@ -240,20 +278,13 @@ func (s *solver) search(dom []bitset, onSolution func(assign []int) bool) bool {
 		}
 		cont := true
 		dom[pick].forEach(func(b int) bool {
-			nd := make([]bitset, s.nA)
-			for v := range nd {
-				nd[v] = dom[v].clone()
+			nd := s.cloneDoms(dom)
+			nd[pick].zero()
+			nd[pick].set(b)
+			if s.propagateAllDiff(nd) && s.propagate(nd, append([]int(nil), s.consOf[pick]...)) {
+				cont = rec(nd)
 			}
-			sb := newBitset(s.nB)
-			sb.set(b)
-			nd[pick] = sb
-			if !s.propagateAllDiff(nd) {
-				return true
-			}
-			if !s.propagate(nd, append([]int(nil), s.consOf[pick]...)) {
-				return true
-			}
-			cont = rec(nd)
+			s.releaseDoms(nd)
 			return cont
 		})
 		return cont
@@ -348,21 +379,14 @@ func ForEachExtendable(A, B *structure.Structure, proj []int, opts Options, fn f
 		v := proj[i]
 		cont := true
 		dom[v].forEach(func(b int) bool {
-			nd := make([]bitset, s.nA)
-			for u := range nd {
-				nd[u] = dom[u].clone()
+			nd := s.cloneDoms(dom)
+			nd[v].zero()
+			nd[v].set(b)
+			if s.propagateAllDiff(nd) && s.propagate(nd, append([]int(nil), s.consOf[v]...)) {
+				vals[i] = b
+				cont = rec(i+1, nd)
 			}
-			sb := newBitset(s.nB)
-			sb.set(b)
-			nd[v] = sb
-			if !s.propagateAllDiff(nd) {
-				return true
-			}
-			if !s.propagate(nd, append([]int(nil), s.consOf[v]...)) {
-				return true
-			}
-			vals[i] = b
-			cont = rec(i+1, nd)
+			s.releaseDoms(nd)
 			return cont
 		})
 		return cont

@@ -21,6 +21,11 @@ type Structure struct {
 	tuples map[string][][]int         // relation name -> tuple list, insertion order
 	seen   map[string]map[string]bool // relation name -> tuple key -> present
 
+	// version counts mutations (element or tuple additions); snapshot
+	// consumers such as engine sessions use it to detect staleness without
+	// rehashing the structure.
+	version uint64
+
 	// posIdx is a lazily built positional index guarded by posMu, making
 	// read-only use of a structure safe from concurrent goroutines
 	// (mutation via AddTuple/AddFact must still be single-threaded).
@@ -82,8 +87,14 @@ func (s *Structure) AddElem(name string) (int, error) {
 	i := len(s.elems)
 	s.elems = append(s.elems, name)
 	s.index[name] = i
+	s.version++
 	return i, nil
 }
+
+// Version returns a counter that increases with every mutation (element or
+// tuple addition).  Two calls returning the same value bracket a span in
+// which the structure was not modified.
+func (s *Structure) Version() uint64 { return s.version }
 
 // EnsureElem returns the index of the named element, adding it if absent.
 func (s *Structure) EnsureElem(name string) int {
@@ -145,6 +156,7 @@ func (s *Structure) AddTuple(rel string, t ...int) error {
 	tt := make([]int, len(t))
 	copy(tt, t)
 	s.tuples[rel] = append(s.tuples[rel], tt)
+	s.version++
 	s.posMu.Lock()
 	s.posIdx = nil // invalidate lazy index
 	s.posMu.Unlock()
