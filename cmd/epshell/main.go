@@ -151,14 +151,17 @@ func (sh *shell) fact(src string) error {
 		return nil
 	}
 	for _, r := range add.Signature().Rels() {
-		for _, t := range add.Tuples(r.Name) {
-			names := make([]string, len(t))
+		var addErr error
+		names := make([]string, r.Arity)
+		add.ForEachTuple(r.Name, func(t []int) bool {
 			for i, v := range t {
 				names[i] = add.ElemName(v)
 			}
-			if err := sh.db.AddFact(r.Name, names...); err != nil {
-				return err
-			}
+			addErr = sh.db.AddFact(r.Name, names...)
+			return addErr == nil
+		})
+		if addErr != nil {
+			return addErr
 		}
 	}
 	return nil

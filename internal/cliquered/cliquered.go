@@ -106,8 +106,9 @@ func StructureToGraph(b *structure.Structure) (*graph.Graph, error) {
 		return nil, fmt.Errorf("cliquered: E has arity %d, want 2", ar)
 	}
 	g := graph.New(b.Size())
-	for _, t := range b.Tuples("E") {
+	b.ForEachTuple("E", func(t []int) bool {
 		g.AddEdge(t[0], t[1])
-	}
+		return true
+	})
 	return g, nil
 }

@@ -162,6 +162,12 @@ func (c *Counter) ppCounter() eptrans.PPCounter {
 	}
 }
 
+// Release drops the cached engine session of b (if any), freeing its
+// materialized constraint tables ahead of LRU eviction.  Long-lived
+// processes that are done with a structure can call this instead of
+// waiting for the session registry's cap-pressure eviction.
+func (c *Counter) Release(b *structure.Structure) { engine.ReleaseSession(b) }
+
 // CountDirect evaluates the query by brute-force enumeration of liberal
 // assignments: the reference semantics (exponential; for validation).
 func (c *Counter) CountDirect(b *structure.Structure) (*big.Int, error) {

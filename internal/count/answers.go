@@ -78,7 +78,7 @@ func EnumerateAnswers(sig *structure.Signature, lib []logic.Var, disjuncts []pp.
 			for i, pi := range perm {
 				ordered[i] = vals[pi]
 			}
-			key := encodeVals(ordered)
+			key := structure.TupleKey(ordered, nil)
 			if seen[key] {
 				return true
 			}

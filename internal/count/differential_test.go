@@ -1,0 +1,125 @@
+package count
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/pp"
+	"repro/internal/structure"
+	"repro/internal/workload"
+)
+
+// reinsertShuffled rebuilds b with the same universe but the tuples of
+// every relation inserted in a random order: the columnar store's
+// posting lists, packed sets, and row ids all come out differently, but
+// every count must be unchanged.
+func reinsertShuffled(b *structure.Structure, rng *rand.Rand) *structure.Structure {
+	out := structure.New(b.Signature())
+	for _, name := range b.ElemNames() {
+		out.EnsureElem(name)
+	}
+	for _, r := range b.Signature().Rels() {
+		var tuples [][]int
+		b.ForEachTuple(r.Name, func(t []int) bool {
+			tuples = append(tuples, append([]int(nil), t...))
+			return true
+		})
+		rng.Shuffle(len(tuples), func(i, j int) { tuples[i], tuples[j] = tuples[j], tuples[i] })
+		for _, t := range tuples {
+			_ = out.AddTuple(r.Name, t...)
+		}
+	}
+	return out
+}
+
+// Differential property: the indexed/columnar counting paths (posting
+// lists in the hom solver, packed-set materialization, semi-join
+// pruning) must agree with the full-scan brute-force reference
+// (EPDirect evaluates the satisfaction semantics with set-membership
+// lookups only), and all counts must be invariant under tuple insertion
+// order.
+func TestIndexedCountsMatchBruteForceAndInsertionOrder(t *testing.T) {
+	sig := workload.EdgeSig()
+	queries := []string{
+		"q(x,y) := E(x,y)",
+		"q(a,b,c) := E(a,b) & E(b,c)",
+		"q(x) := exists u, v. E(x,u) & E(u,v)",
+		"q(x,y) := E(x,y) & E(y,x)",
+		"q(a,b,c,d) := E(a,b) & E(c,d)",
+		"q(x) := E(x,x) & (exists s, t. E(s,t) & E(t,s))",
+	}
+	engines := []PPEngine{EngineFPT, EngineFPTNoCore, EngineProjection}
+	rng := rand.New(rand.NewSource(99))
+	for seed := int64(0); seed < 8; seed++ {
+		b := workload.RandomStructure(sig, 5, 0.35, seed)
+		shuffled := reinsertShuffled(b, rng)
+		if !structure.Equal(b, shuffled) {
+			t.Fatalf("seed %d: shuffled reinsertion changed the structure", seed)
+		}
+		for _, src := range queries {
+			q := parser.MustQuery(src)
+			want, err := EPDirect(q, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := pp.FromDisjunct(sig, q.Lib, q.Disjuncts()[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, eng := range engines {
+				for which, bs := range []*structure.Structure{b, shuffled} {
+					got, err := PP(p, bs, eng)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got.Cmp(want) != 0 {
+						t.Fatalf("seed %d, query %q, engine %v, structure %d: got %v, brute-force %v",
+							seed, src, eng, which, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Same property on a mixed-arity signature, where the packed tuple sets
+// exercise different per-value bit budgets per relation.
+func TestIndexedCountsInsertionOrderMixedArity(t *testing.T) {
+	sig := structure.MustSignature(
+		structure.RelSym{Name: "E", Arity: 2},
+		structure.RelSym{Name: "R", Arity: 3},
+		structure.RelSym{Name: "F", Arity: 1},
+	)
+	queries := []string{
+		"q(x,y) := exists z. R(x,y,z) & F(z)",
+		"q(a) := F(a) & (exists u. E(a,u))",
+		"q(x,y,z) := R(x,y,z) & E(y,z)",
+	}
+	rng := rand.New(rand.NewSource(7))
+	for seed := int64(0); seed < 6; seed++ {
+		b := workload.RandomStructure(sig, 4, 0.3, seed)
+		shuffled := reinsertShuffled(b, rng)
+		for _, src := range queries {
+			q := parser.MustQuery(src)
+			want, err := EPDirect(q, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := pp.FromDisjunct(sig, q.Lib, q.Disjuncts()[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for which, bs := range []*structure.Structure{b, shuffled} {
+				got, err := PP(p, bs, EngineFPT)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Cmp(want) != 0 {
+					t.Fatalf("seed %d, query %q, structure %d: got %v, brute-force %v",
+						seed, src, which, got, want)
+				}
+			}
+		}
+	}
+}

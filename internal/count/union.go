@@ -8,15 +8,8 @@ import (
 	"repro/internal/structure"
 )
 
-// encodeVals builds a compact byte-string key for an int vector (answer
-// deduplication across disjuncts).
-func encodeVals(vals []int) string {
-	buf := make([]byte, 0, 4*len(vals))
-	for _, v := range vals {
-		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-	}
-	return string(buf)
-}
+// Answer vectors are deduplicated across disjuncts under the shared
+// structure.TupleKey byte-string encoding.
 
 // EPUnion counts an ep-formula by enumerating, per prenex pp disjunct, the
 // extendable liberal assignments and collecting them in a set — a direct
@@ -46,7 +39,7 @@ func EPUnion(disjuncts []pp.PP, b *structure.Structure) (*big.Int, error) {
 			continue
 		}
 		hom.ForEachExtendable(d.A, b, d.S, hom.Options{}, func(vals []int) bool {
-			seen[encodeVals(vals)] = true
+			seen[structure.TupleKey(vals, nil)] = true
 			return true
 		})
 	}

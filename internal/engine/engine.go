@@ -6,13 +6,17 @@
 //     Plan — every engine (brute, projection, FPT with or without core,
 //     auto) is a Plan behind the same interface, so callers never
 //     switch-dispatch on engine names;
-//   - the Executor layer (exec.go): the join-count dynamic program over
-//     packed uint64 bag keys (with a spill path for wide bags), an int64
-//     fast path with overflow detection before big.Int, and pooled
-//     scratch buffers;
+//   - the Executor layer (exec.go, prune.go): a semi-join pre-pruning
+//     pass that reduces each constraint table against the value supports
+//     of the other constraints on its variables, then the join-count
+//     dynamic program over packed uint64 bag keys (with a spill path for
+//     wide bags), an int64 fast path with overflow detection before
+//     big.Int, and pooled scratch buffers;
 //   - the Session layer (session.go): per-structure state — fingerprint,
-//     materialized constraint tables, cached sentence checks — shared
-//     across φ⁻af terms, repeated counts, and batched counting.
+//     constraint tables materialized straight off the columnar relation
+//     stores, cached sentence checks — shared across φ⁻af terms,
+//     repeated counts, and batched counting, with LRU eviction of the
+//     session registry under cap pressure.
 package engine
 
 import (

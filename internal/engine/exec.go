@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/structure"
 )
 
 // The executor runs the join-count dynamic program over a compiled
@@ -75,22 +77,12 @@ func (c keyCodec) unpack(key uint64, out []int) {
 }
 
 // spillKey is the byte-string encoding used when a bag does not fit the
-// packed budget.  buf is reused between calls; the returned string is a
-// fresh allocation (it must be, to serve as a map key).
-func spillKey(vals []int, buf []byte) string {
-	buf = buf[:0]
-	for _, v := range vals {
-		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-	}
-	return string(buf)
-}
+// packed budget: the shared structure.TupleKey codec.  buf is reused
+// between calls; the returned string is a fresh allocation (it must be,
+// to serve as a map key).
+func spillKey(vals []int, buf []byte) string { return structure.TupleKey(vals, buf) }
 
-func spillDecode(key string, out []int) {
-	for i := range out {
-		o := 4 * i
-		out[i] = int(key[o]) | int(key[o+1])<<8 | int(key[o+2])<<16 | int(key[o+3])<<24
-	}
-}
+func spillDecode(key string, out []int) { structure.TupleKeyDecode(key, out) }
 
 // wnum is a non-negative extension count: int64 while it fits, big.Int
 // after the first overflow.  The zero value is 0.
@@ -230,7 +222,7 @@ func (sc *execScratch) ensure(width int) {
 		sc.proj = make([]int, width)
 		sc.vals = make([]int, width)
 		sc.freeIdx = make([]int, width)
-		sc.keyBuf = make([]byte, 0, 4*width)
+		sc.keyBuf = make([]byte, 0, 8*width)
 	}
 	sc.bound = sc.bound[:0]
 }

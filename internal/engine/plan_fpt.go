@@ -99,11 +99,10 @@ func compileComponent(comp pp.PP) (*planComponent, error) {
 
 	// (a) atoms entirely on liberal variables.
 	for _, r := range comp.A.Signature().Rels() {
-	atomLoop:
-		for _, t := range comp.A.Tuples(r.Name) {
+		comp.A.ForEachTuple(r.Name, func(t []int) bool {
 			for _, v := range t {
 				if !inS[v] {
-					continue atomLoop
+					return true
 				}
 			}
 			scopeSet := map[int]bool{}
@@ -124,7 +123,8 @@ func compileComponent(comp pp.PP) (*planComponent, error) {
 				tmpl[j] = posInScope[posOf[v]]
 			}
 			cons = append(cons, planConstraint{scope: scope, rel: r.Name, atomTmpl: tmpl})
-		}
+			return true
+		})
 	}
 
 	// (b) ∃-component predicates.  ExistsComponents expects the cored
@@ -276,6 +276,13 @@ func (pc *planComponent) count(s *Session) (*big.Int, error) {
 	tables := make([]*Table, len(pc.constraints))
 	for ci := range pc.constraints {
 		tables[ci] = s.tableFor(&pc.constraints[ci])
+	}
+	// Semi-join pre-pruning: drop rows unsupported by the other
+	// constraints on a shared variable before the DP joins the tables
+	// (computed once per component and session, cached thereafter).
+	tables, empty := s.prunedFor(pc, tables)
+	if empty {
+		return new(big.Int), nil
 	}
 	joined := joinCount(pc, tables, s.B.Size())
 	result.Mul(result, joined)

@@ -1,0 +1,114 @@
+package engine
+
+// Semi-join pre-pruning: before the join-count DP runs, each constraint
+// table is reduced against the value supports of every other constraint
+// sharing one of its variables (the bags adjacent in the decomposition
+// all draw from these same tables).  A row whose value at some variable
+// appears in no other covering constraint can contribute to no complete
+// assignment, so dropping it leaves every count unchanged while
+// shrinking the intermediate tables the DP joins and groups.
+//
+// The pass runs a few rounds of (compute per-variable supports →
+// filter rows) to a fixpoint or a small cap; each round is linear in
+// the total number of table cells.  Session-cached tables are shared
+// across plans and never mutated: filtering builds a new Table whose
+// rows alias the original backing slices.
+
+// pruneMinRows skips the pass when every table is tiny: the DP on such
+// inputs is cheaper than even one filtering round.
+const pruneMinRows = 32
+
+// pruneMaxRounds caps the fixpoint iteration; each extra round only
+// helps when a previous round's filtering newly emptied some support.
+const pruneMaxRounds = 4
+
+// semiJoinPrune returns tables with unsupported rows removed, and
+// whether some table became empty (in which case the component's count
+// is zero).  The input slice is not modified.
+func semiJoinPrune(pc *planComponent, tables []*Table, domSize int) ([]*Table, bool) {
+	if len(pc.constraints) < 2 || domSize <= 0 {
+		return tables, false
+	}
+	biggest := 0
+	for _, t := range tables {
+		if t.Len() > biggest {
+			if biggest = t.Len(); biggest >= pruneMinRows {
+				break
+			}
+		}
+	}
+	if biggest < pruneMinRows {
+		return tables, false
+	}
+
+	words := (domSize + 63) / 64
+	nv := pc.nActive
+	allowed := make([]uint64, nv*words)
+	varBits := func(v int) []uint64 { return allowed[v*words : (v+1)*words] }
+	support := make([]uint64, words)
+
+	cur := append([]*Table(nil), tables...)
+	for round := 0; round < pruneMaxRounds; round++ {
+		// Per-variable allowed sets: the intersection, over every
+		// constraint covering the variable, of the values its table
+		// still holds there.
+		for i := range allowed {
+			allowed[i] = ^uint64(0)
+		}
+		for ci, t := range cur {
+			for j, v := range pc.constraints[ci].scope {
+				for i := range support {
+					support[i] = 0
+				}
+				for _, row := range t.tuples {
+					u := row[j]
+					support[u>>6] |= 1 << (u & 63)
+				}
+				ab := varBits(v)
+				for i := range ab {
+					ab[i] &= support[i]
+				}
+			}
+		}
+		// Filter each table to rows whose every value is still allowed.
+		// Tables are never mutated (they may be the shared session
+		// copies): on the first removed row the survivors so far are
+		// copied into a fresh row-header slice, which then aliases the
+		// original rows.
+		changed := false
+		for ci, t := range cur {
+			scope := pc.constraints[ci].scope
+			removed := false
+			var ntup [][]int
+		rowLoop:
+			for ri, row := range t.tuples {
+				for j, v := range scope {
+					u := row[j]
+					if varBits(v)[u>>6]&(1<<(u&63)) == 0 {
+						if !removed {
+							removed = true
+							ntup = make([][]int, ri, len(t.tuples))
+							copy(ntup, t.tuples[:ri])
+						}
+						continue rowLoop
+					}
+				}
+				if removed {
+					ntup = append(ntup, row)
+				}
+			}
+			if !removed {
+				continue
+			}
+			cur[ci] = &Table{tuples: ntup}
+			changed = true
+			if len(ntup) == 0 {
+				return cur, true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return cur, false
+}

@@ -10,20 +10,38 @@ import (
 )
 
 // Session is the per-structure state of the counting pipeline: the
-// structure's fingerprint (computed once), the materialized constraint
-// tables, and cached sentence checks.  One session serves every φ⁻af term
-// of a compiled query, repeated Count calls, and batched counting — each
-// distinct constraint scheme is materialized against the structure
-// exactly once.  Sessions are safe for concurrent use.
+// structure's fingerprint (computed lazily, once), the materialized
+// constraint tables, cached sentence checks, and cached semi-join prune
+// results.  One session serves every φ⁻af term of a compiled query,
+// repeated Count calls, and batched counting — each distinct constraint
+// scheme is materialized against the structure exactly once.  Sessions
+// are safe for concurrent use.
+//
+// The memo maps are keyed partly by compile-time pointers (component,
+// sub-structure), so a long-lived session fed by endlessly recompiled
+// plans would otherwise grow without bound; each map is wiped wholesale
+// when it reaches sessionMemoCap (a memo, not a store — entries rebuild
+// on demand).
 type Session struct {
 	B *structure.Structure
 
 	version uint64
+	fpOnce  sync.Once
 	fp      uint64
 
 	mu        sync.Mutex
 	tables    map[tableKey]*tableEntry
 	sentences map[*structure.Structure]bool
+	pruned    map[*planComponent]*pruneEntry
+}
+
+// pruneEntry guards one component's semi-join pre-pruning result: the
+// pruned tables are deterministic per (component, session), so repeated
+// counts reuse them instead of re-running the fixpoint.
+type pruneEntry struct {
+	once   sync.Once
+	tables []*Table
+	empty  bool
 }
 
 // tableEntry guards one table's materialization: the registry lock is
@@ -34,20 +52,24 @@ type tableEntry struct {
 	t    *Table
 }
 
-// NewSession builds a fresh session for b, fingerprinting it once.
+// NewSession builds a fresh session for b.
 func NewSession(b *structure.Structure) *Session {
 	return &Session{
 		B:         b,
 		version:   b.Version(),
-		fp:        fingerprint(b),
 		tables:    make(map[tableKey]*tableEntry),
 		sentences: make(map[*structure.Structure]bool),
+		pruned:    make(map[*planComponent]*pruneEntry),
 	}
 }
 
 // Fingerprint returns the FNV-1a hash of the structure's universe and
-// tuples, computed once at session creation.
-func (s *Session) Fingerprint() uint64 { return s.fp }
+// tuples, computed lazily on first use (a full pass over the structure)
+// and cached for the session's lifetime.
+func (s *Session) Fingerprint() uint64 {
+	s.fpOnce.Do(func() { s.fp = fingerprint(s.B) })
+	return s.fp
+}
 
 // Valid reports whether the structure is unchanged since the session was
 // created (sessions must be discarded after mutation).
@@ -55,21 +77,29 @@ func (s *Session) Valid() bool { return s.B.Version() == s.version }
 
 func fingerprint(b *structure.Structure) uint64 {
 	h := fnv.New64a()
-	var buf [8]byte
-	writeInt := func(v int) {
-		u := uint64(v)
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(u >> (8 * i))
-		}
-		h.Write(buf[:])
+	var sz [8]byte
+	for i, u := 0, uint64(b.Size()); i < 8; i++ {
+		sz[i] = byte(u >> (8 * i))
 	}
-	writeInt(b.Size())
+	h.Write(sz[:])
+	// Hash column-major straight off the relation stores, flushing in
+	// chunks: one Write per ~1k values instead of one per value.
+	buf := make([]byte, 0, 4096)
 	for _, r := range b.Signature().Rels() {
 		h.Write([]byte(r.Name))
-		for _, t := range b.Tuples(r.Name) {
-			for _, v := range t {
-				writeInt(v)
+		rel := b.Rel(r.Name)
+		for p := 0; p < r.Arity; p++ {
+			for _, v := range rel.Col(p) {
+				buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+				if len(buf) >= 4096-4 {
+					h.Write(buf)
+					buf = buf[:0]
+				}
 			}
+		}
+		if len(buf) > 0 {
+			h.Write(buf)
+			buf = buf[:0]
 		}
 	}
 	return h.Sum64()
@@ -86,6 +116,9 @@ func (s *Session) SentenceHolds(sub *structure.Structure) bool {
 	}
 	ok = hom.Exists(sub, s.B, hom.Options{})
 	s.mu.Lock()
+	if len(s.sentences) >= sessionMemoCap {
+		s.sentences = make(map[*structure.Structure]bool)
+	}
 	s.sentences[sub] = ok
 	s.mu.Unlock()
 	return ok
@@ -104,17 +137,33 @@ type tableKey struct {
 
 func makeTableKey(c *planConstraint) tableKey {
 	if c.sub == nil {
-		return tableKey{kind: 'a', rel: c.rel, enc: encodeInts(c.atomTmpl) + ";" + strconv.Itoa(len(c.scope))}
+		return tableKey{kind: 'a', rel: c.rel, enc: structure.TupleKey(c.atomTmpl, nil) + ";" + strconv.Itoa(len(c.scope))}
 	}
-	return tableKey{kind: 'p', sub: c.sub, enc: encodeInts(c.iface)}
+	return tableKey{kind: 'p', sub: c.sub, enc: structure.TupleKey(c.iface, nil)}
 }
 
-func encodeInts(vals []int) string {
-	buf := make([]byte, 0, 4*len(vals))
-	for _, v := range vals {
-		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+// sessionMemoCap bounds each per-session memo map (tables, sentences,
+// pruned results); reaching it wipes that map wholesale.
+const sessionMemoCap = 1024
+
+// prunedFor returns the component's semi-join-pruned constraint tables
+// (and whether some table emptied), running the pruning pass once per
+// (component, session) and sharing the result across repeated counts.
+// tables must be the component's session-materialized tables, which are
+// deterministic here, so first-caller-wins is sound.
+func (s *Session) prunedFor(pc *planComponent, tables []*Table) ([]*Table, bool) {
+	s.mu.Lock()
+	e := s.pruned[pc]
+	if e == nil {
+		if len(s.pruned) >= sessionMemoCap {
+			s.pruned = make(map[*planComponent]*pruneEntry)
+		}
+		e = &pruneEntry{}
+		s.pruned[pc] = e
 	}
-	return string(buf)
+	s.mu.Unlock()
+	e.once.Do(func() { e.tables, e.empty = semiJoinPrune(pc, tables, s.B.Size()) })
+	return e.tables, e.empty
 }
 
 // tableFor returns the materialized table of the constraint, building it
@@ -125,6 +174,9 @@ func (s *Session) tableFor(c *planConstraint) *Table {
 	s.mu.Lock()
 	e := s.tables[c.key]
 	if e == nil {
+		if len(s.tables) >= sessionMemoCap {
+			s.tables = make(map[tableKey]*tableEntry)
+		}
 		e = &tableEntry{}
 		s.tables[c.key] = e
 	}
@@ -137,90 +189,131 @@ func (s *Session) materialize(c *planConstraint) *Table {
 	t := &Table{}
 	width := len(c.scope)
 	if c.sub == nil {
-		// Atom constraint: project B's relation through the template,
-		// deduplicating rows (packed keys when they fit).
-		codec := newKeyCodec(s.B.Size(), width)
-		var seenPK map[uint64]bool
-		var seenSK map[string]bool
-		if codec.packed {
-			seenPK = make(map[uint64]bool)
-		} else {
-			seenSK = make(map[string]bool)
+		// Atom constraint: project B's relation through the template
+		// directly off the columnar store, deduplicating projected rows
+		// with a packed-key tuple set (no string keys, no [][]int
+		// materialization of the relation).
+		rel := s.B.Rel(c.rel)
+		n := rel.Len()
+		if n == 0 {
+			return t
 		}
-		var keyBuf []byte
+		cols := make([][]int32, len(c.atomTmpl))
+		for j := range c.atomTmpl {
+			cols[j] = rel.Col(j)
+		}
+		dedup := structure.NewTupleSet(width)
+		arena := newRowArena(width)
 		vals := make([]int, width)
 		seen := make([]bool, width)
-	tupleLoop:
-		for _, u := range s.B.Tuples(c.rel) {
+	rowLoop:
+		for row := 0; row < n; row++ {
 			for i := range seen {
 				seen[i] = false
 			}
 			for j, si := range c.atomTmpl {
-				if seen[si] && vals[si] != u[j] {
-					continue tupleLoop
+				u := int(cols[j][row])
+				if seen[si] && vals[si] != u {
+					continue rowLoop
 				}
-				vals[si] = u[j]
+				vals[si] = u
 				seen[si] = true
 			}
-			if codec.packed {
-				k := codec.pack(vals)
-				if seenPK[k] {
-					continue
-				}
-				seenPK[k] = true
-			} else {
-				k := spillKey(vals, keyBuf)
-				if seenSK[k] {
-					continue
-				}
-				seenSK[k] = true
+			if dedup.Add(vals) {
+				t.tuples = append(t.tuples, arena.put(vals))
 			}
-			t.tuples = append(t.tuples, append([]int(nil), vals...))
 		}
 		return t
 	}
 	// ∃-component predicate: the extendable interface assignments.  Each
 	// distinct assignment is reported exactly once.
+	arena := newRowArena(len(c.iface))
 	hom.ForEachExtendable(c.sub, s.B, c.iface, hom.Options{}, func(vals []int) bool {
-		t.tuples = append(t.tuples, append([]int(nil), vals...))
+		t.tuples = append(t.tuples, arena.put(vals))
 		return true
 	})
 	return t
 }
 
+// rowArena hands out immutable row copies carved from chunked flat
+// backing arrays: one allocation per ~1k rows instead of one per row.
+// Earlier rows stay valid because full chunks are abandoned, never
+// grown.
+type rowArena struct {
+	width int
+	flat  []int
+}
+
+func newRowArena(width int) *rowArena { return &rowArena{width: width} }
+
+func (a *rowArena) put(vals []int) []int {
+	if len(a.flat)+a.width > cap(a.flat) {
+		n := 1024 * a.width
+		if n == 0 {
+			n = 1
+		}
+		a.flat = make([]int, 0, n)
+	}
+	a.flat = append(a.flat, vals...)
+	return a.flat[len(a.flat)-a.width:]
+}
+
 // The session registry memoizes sessions per structure identity, keyed by
 // pointer and validated by mutation version, so one-shot Plan.Count calls
 // against a repeatedly used structure share materializations with every
-// other caller.
+// other caller.  At capacity the least-recently-used entries are evicted
+// (an eighth of the cache at a time, so eviction is amortized): hot
+// sessions keep their materialized tables under cap pressure.
 const sessionCacheCap = 64
 
+type sessionEntry struct {
+	s   *Session
+	use uint64 // registry clock at last SessionFor hit
+}
+
 var (
-	sessionMu sync.Mutex
-	sessions  = make(map[*structure.Structure]*Session, sessionCacheCap)
+	sessionMu    sync.Mutex
+	sessionClock uint64
+	sessions     = make(map[*structure.Structure]*sessionEntry, sessionCacheCap)
 )
 
+// evictSessionsLocked drops the least-recently-used entries until at
+// least sessionCacheCap/8 slots are free.  Caller holds sessionMu.
+func evictSessionsLocked() {
+	target := sessionCacheCap - sessionCacheCap/8
+	if target < 1 {
+		target = 1
+	}
+	for len(sessions) >= target {
+		var oldest *structure.Structure
+		var oldestUse uint64
+		for b, e := range sessions {
+			if oldest == nil || e.use < oldestUse {
+				oldest, oldestUse = b, e.use
+			}
+		}
+		delete(sessions, oldest)
+	}
+}
+
 // SessionFor returns the cached session of b, creating (or replacing a
-// stale) one as needed.
+// stale) one as needed.  NewSession is cheap (fingerprinting and all
+// materialization are lazy), so the whole lookup runs under the
+// registry lock.
 func SessionFor(b *structure.Structure) *Session {
 	v := b.Version()
 	sessionMu.Lock()
-	s := sessions[b]
-	if s == nil || s.version != v {
-		sessionMu.Unlock()
-		ns := NewSession(b) // fingerprinting outside the registry lock
-		sessionMu.Lock()
-		// Re-check: another goroutine may have installed a session while
-		// the fingerprint was computed.
-		if s = sessions[b]; s == nil || s.version != v {
-			if len(sessions) >= sessionCacheCap {
-				sessions = make(map[*structure.Structure]*Session, sessionCacheCap)
-			}
-			sessions[b] = ns
-			s = ns
-		}
+	defer sessionMu.Unlock()
+	sessionClock++
+	if e := sessions[b]; e != nil && e.s.version == v {
+		e.use = sessionClock
+		return e.s
+	} else if e == nil && len(sessions) >= sessionCacheCap {
+		evictSessionsLocked()
 	}
-	sessionMu.Unlock()
-	return s
+	ns := NewSession(b)
+	sessions[b] = &sessionEntry{s: ns, use: sessionClock}
+	return ns
 }
 
 // ReleaseSession drops b's cached session (if any), releasing its

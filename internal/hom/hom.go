@@ -31,6 +31,13 @@ type Options struct {
 type constraint struct {
 	rel  string
 	vars []int // A-element per position
+
+	// brel/bcols are B's columnar relation store and its column views,
+	// resolved once at solver construction: candidate generation walks
+	// posting lists and reads columns directly, never materializing
+	// tuple slices or scanning the full relation.
+	brel  *structure.Relation
+	bcols [][]int32
 }
 
 type solver struct {
@@ -89,9 +96,22 @@ func newSolver(A, B *structure.Structure, opts Options) *solver {
 	s := &solver{A: A, B: B, nA: A.Size(), nB: B.Size()}
 	s.consOf = make([][]int, s.nA)
 	for _, r := range A.Signature().Rels() {
-		for _, t := range A.Tuples(r.Name) {
+		brel := B.Rel(r.Name)
+		var bcols [][]int32
+		if brel != nil {
+			bcols = make([][]int32, r.Arity)
+			for p := 0; p < r.Arity; p++ {
+				bcols[p] = brel.Col(p)
+			}
+		}
+		A.ForEachTuple(r.Name, func(t []int) bool {
 			ci := len(s.cons)
-			s.cons = append(s.cons, constraint{rel: r.Name, vars: t})
+			s.cons = append(s.cons, constraint{
+				rel:   r.Name,
+				vars:  append([]int(nil), t...),
+				brel:  brel,
+				bcols: bcols,
+			})
 			seen := map[int]bool{}
 			for _, v := range t {
 				if !seen[v] {
@@ -99,7 +119,8 @@ func newSolver(A, B *structure.Structure, opts Options) *solver {
 					s.consOf[v] = append(s.consOf[v], ci)
 				}
 			}
-		}
+			return true
+		})
 	}
 	s.allDiff = make([]bool, s.nA)
 	for _, v := range opts.AllDiff {
@@ -154,38 +175,39 @@ func (s *solver) propagate(dom []bitset, queue []int) bool {
 		c := s.cons[ci]
 		ar := len(c.vars)
 		support := s.supports(ar)
-		// Pick candidate B-tuples: if some position's domain is a
-		// singleton, use the positional index to cut the scan.
-		var cand [][]int
+		// Candidate B-tuples come from the posting lists of the position
+		// whose variable has the smallest domain: the union over that
+		// domain's values is disjoint (each row holds one value there)
+		// and visits only rows consistent with the tightest domain.
+		// Only a near-unpruned pivot (≥ 3/4 of the universe) falls back
+		// to a contiguous column sweep, which is cheaper than per-value
+		// posting lookups when almost every row qualifies anyway.
 		bestPos, bestCnt := -1, 1<<30
 		for p, v := range c.vars {
 			if cnt := dom[v].count(); cnt < bestCnt {
 				bestPos, bestCnt = p, cnt
 			}
 		}
-		if bestCnt == 0 {
+		if bestCnt == 0 || c.brel == nil || c.brel.Len() == 0 {
 			return false
 		}
-		if bestCnt == 1 {
-			cand = s.B.TuplesWith(c.rel, bestPos, dom[c.vars[bestPos]].first())
+		bcols := c.bcols
+		vars := c.vars
+		if 4*bestCnt < 3*s.nB {
+			// Restrictive pivot: take only the posting lists of the
+			// domain's values.
+			dom[vars[bestPos]].forEach(func(val int) bool {
+				for _, row := range c.brel.RowsWith(bestPos, val) {
+					addRowSupport(vars, bcols, dom, support, int(row))
+				}
+				return true
+			})
 		} else {
-			cand = s.B.Tuples(c.rel)
-		}
-	tuples:
-		for _, u := range cand {
-			for p, v := range c.vars {
-				if !dom[v].has(u[p]) {
-					continue tuples
-				}
-				// Repeated variables must agree.
-				for q := p + 1; q < ar; q++ {
-					if c.vars[q] == v && u[q] != u[p] {
-						continue tuples
-					}
-				}
-			}
-			for p := range c.vars {
-				support[p].set(u[p])
+			// Unpruned pivot domain: a contiguous column sweep beats
+			// per-value posting lookups (the row filter still applies).
+			n := c.brel.Len()
+			for row := 0; row < n; row++ {
+				addRowSupport(vars, bcols, dom, support, row)
 			}
 		}
 		for p, v := range c.vars {
@@ -203,6 +225,27 @@ func (s *solver) propagate(dom []bitset, queue []int) bool {
 		}
 	}
 	return true
+}
+
+// addRowSupport marks row's values as supported at every position,
+// unless some value falls outside its variable's domain or repeated
+// variables disagree.
+func addRowSupport(vars []int, bcols [][]int32, dom []bitset, support []bitset, row int) {
+	ar := len(vars)
+	for p, v := range vars {
+		u := int(bcols[p][row])
+		if !dom[v].has(u) {
+			return
+		}
+		for q := p + 1; q < ar; q++ {
+			if vars[q] == v && int(bcols[q][row]) != u {
+				return
+			}
+		}
+	}
+	for p := range vars {
+		support[p].set(int(bcols[p][row]))
+	}
 }
 
 // propagateAllDiff removes value b from the domains of other alldiff

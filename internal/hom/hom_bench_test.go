@@ -1,0 +1,69 @@
+package hom
+
+import (
+	"testing"
+
+	"repro/internal/structure"
+	"repro/internal/workload"
+)
+
+// Candidate-generation benchmarks: the solver's propagate loop dominates
+// hom checks on large structures, and its cost is set by how candidate
+// B-tuples are produced (posting-list lookups vs full relation scans).
+
+func pathPattern(k int) *structure.Structure {
+	a := structure.New(workload.EdgeSig())
+	for i := 0; i <= k; i++ {
+		a.FreshElem("p")
+	}
+	for i := 0; i < k; i++ {
+		_ = a.AddTuple("E", i, i+1)
+	}
+	return a
+}
+
+func erStructure(n int, avgDeg float64, seed int64) *structure.Structure {
+	return workload.GraphStructure(workload.ER(n, avgDeg/float64(n), seed))
+}
+
+func BenchmarkHom_ExistsPath6_N1500(b *testing.B) {
+	a := pathPattern(6)
+	bs := erStructure(1500, 4.0, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Exists(a, bs, Options{}) {
+			b.Fatal("expected a homomorphism")
+		}
+	}
+}
+
+func BenchmarkHom_CountPath4_N300(b *testing.B) {
+	a := pathPattern(4)
+	bs := erStructure(300, 4.0, 11)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Count(a, bs, Options{}).Sign() == 0 {
+			b.Fatal("expected homomorphisms")
+		}
+	}
+}
+
+func BenchmarkHom_ForEachExtendablePath4_N800(b *testing.B) {
+	a := pathPattern(4)
+	bs := erStructure(800, 3.0, 13)
+	proj := []int{0, 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		ForEachExtendable(a, bs, proj, Options{}, func([]int) bool {
+			total++
+			return true
+		})
+		if total == 0 {
+			b.Fatal("expected extendable assignments")
+		}
+	}
+}

@@ -98,13 +98,14 @@ func (p PP) ToDisjunct() logic.Disjunct {
 		}
 	}
 	for _, r := range p.A.Signature().Rels() {
-		for _, t := range p.A.Tuples(r.Name) {
+		p.A.ForEachTuple(r.Name, func(t []int) bool {
 			args := make([]logic.Var, len(t))
 			for j, v := range t {
 				args[j] = logic.Var(p.A.ElemName(v))
 			}
 			d.Atoms = append(d.Atoms, logic.Atom{Rel: r.Name, Args: args})
-		}
+			return true
+		})
 	}
 	return d
 }
@@ -140,11 +141,12 @@ func (p PP) IsLiberal() bool { return len(p.S) > 0 }
 func (p PP) FreeElems() []int {
 	occurs := make([]bool, p.A.Size())
 	for _, r := range p.A.Signature().Rels() {
-		for _, t := range p.A.Tuples(r.Name) {
+		p.A.ForEachTuple(r.Name, func(t []int) bool {
 			for _, v := range t {
 				occurs[v] = true
 			}
-		}
+			return true
+		})
 	}
 	var out []int
 	for _, v := range p.S {
@@ -168,13 +170,14 @@ func (p PP) IsFree() bool { return !p.IsSentence() }
 func (p PP) Graph() *graph.Graph {
 	g := graph.New(p.A.Size())
 	for _, r := range p.A.Signature().Rels() {
-		for _, t := range p.A.Tuples(r.Name) {
+		p.A.ForEachTuple(r.Name, func(t []int) bool {
 			for i := 0; i < len(t); i++ {
 				for j := i + 1; j < len(t); j++ {
 					g.AddEdge(t[i], t[j])
 				}
 			}
-		}
+			return true
+		})
 	}
 	return g
 }
@@ -504,14 +507,17 @@ func Conjoin(ps ...PP) (PP, error) {
 			}
 		}
 		for _, r := range sig.Rels() {
-			for _, t := range p.A.Tuples(r.Name) {
-				nt := make([]int, len(t))
+			var addErr error
+			nt := make([]int, r.Arity)
+			p.A.ForEachTuple(r.Name, func(t []int) bool {
 				for j, v := range t {
 					nt[j] = m[v]
 				}
-				if err := out.AddTuple(r.Name, nt...); err != nil {
-					return PP{}, err
-				}
+				addErr = out.AddTuple(r.Name, nt...)
+				return addErr == nil
+			})
+			if addErr != nil {
+				return PP{}, addErr
 			}
 		}
 	}
@@ -524,11 +530,12 @@ func (p PP) InvariantKey() string {
 	inS := p.sSet()
 	deg := make([]int, p.A.Size())
 	for _, r := range p.A.Signature().Rels() {
-		for _, t := range p.A.Tuples(r.Name) {
+		p.A.ForEachTuple(r.Name, func(t []int) bool {
 			for _, v := range t {
 				deg[v]++
 			}
-		}
+			return true
+		})
 	}
 	var sDeg, qDeg []int
 	for v := 0; v < p.A.Size(); v++ {

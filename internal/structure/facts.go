@@ -25,14 +25,17 @@ func (s *Structure) WriteFacts(w io.Writer) error {
 		return err
 	}
 	for _, r := range s.sig.rels {
-		for _, t := range s.tuples[r.Name] {
-			names := make([]string, len(t))
+		var werr error
+		names := make([]string, r.Arity)
+		s.ForEachTuple(r.Name, func(t []int) bool {
 			for i, v := range t {
 				names[i] = s.elems[v]
 			}
-			if _, err := fmt.Fprintf(w, "%s(%s).\n", r.Name, strings.Join(names, ",")); err != nil {
-				return err
-			}
+			_, werr = fmt.Fprintf(w, "%s(%s).\n", r.Name, strings.Join(names, ","))
+			return werr == nil
+		})
+		if werr != nil {
+			return werr
 		}
 	}
 	return nil

@@ -45,11 +45,15 @@ func Product(a, b *Structure) (*Structure, error) {
 		}
 	}
 	for _, r := range a.sig.Rels() {
-		ta := a.Tuples(r.Name)
-		tb := b.Tuples(r.Name)
-		for _, u := range ta {
-			for _, v := range tb {
-				t := make([]int, r.Arity)
+		ra, rb := a.Rel(r.Name), b.Rel(r.Name)
+		na, nb := ra.Len(), rb.Len()
+		u := make([]int, r.Arity)
+		v := make([]int, r.Arity)
+		t := make([]int, r.Arity)
+		for i := 0; i < na; i++ {
+			ra.Row(i, u)
+			for j := 0; j < nb; j++ {
+				rb.Row(j, v)
 				for p := 0; p < r.Arity; p++ {
 					t[p] = pair(u[p], v[p])
 				}
@@ -98,13 +102,14 @@ func DisjointUnion(a, b *Structure) (*Structure, error) {
 		bShift[j] = idx
 	}
 	for _, r := range b.sig.Rels() {
-		for _, t := range b.Tuples(r.Name) {
-			nt := make([]int, len(t))
+		nt := make([]int, r.Arity)
+		b.ForEachTuple(r.Name, func(t []int) bool {
 			for p, v := range t {
 				nt[p] = bShift[v]
 			}
 			_ = out.AddTuple(r.Name, nt...)
-		}
+			return true
+		})
 	}
 	return out, nil
 }
@@ -173,14 +178,18 @@ func Equal(a, b *Structure) bool {
 		}
 	}
 	for _, r := range a.sig.Rels() {
-		ta, tb := a.Tuples(r.Name), b.Tuples(r.Name)
-		if len(ta) != len(tb) {
+		if a.Rel(r.Name).Len() != b.Rel(r.Name).Len() {
 			return false
 		}
-		for _, t := range ta {
+		equal := true
+		a.ForEachTuple(r.Name, func(t []int) bool {
 			if !b.HasTuple(r.Name, t) {
-				return false
+				equal = false
 			}
+			return equal
+		})
+		if !equal {
+			return false
 		}
 	}
 	return true

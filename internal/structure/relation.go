@@ -1,0 +1,203 @@
+package structure
+
+import "sync"
+
+// Relation is the columnar store of one relation's tuple set: a flat
+// []int32 column per position, a packed-key TupleSet for O(1)
+// dedup/membership, and per-position posting lists (value → row ids)
+// that are maintained incrementally on every insert — never rebuilt from
+// scratch.  Rows are exposed through allocation-free iteration
+// (ForEachTuple, ForEachWith) and row views; the [][]int representation
+// survives only as the deprecated Tuples compatibility shim on
+// Structure.
+//
+// A Relation is mutated only through its owning Structure (single
+// mutator); any number of goroutines may read it concurrently between
+// mutations.
+type Relation struct {
+	name  string
+	arity int
+	cols  [][]int32          // per position, len == Len()
+	posts []map[int32][]int32 // per position: value → row ids, insertion order
+	set   *TupleSet
+
+	// rowCache backs the deprecated Tuples shim: materialized [][]int
+	// rows, built lazily under rowMu and dropped on mutation.
+	rowMu    sync.Mutex
+	rowCache [][]int
+}
+
+func newRelation(name string, arity int) *Relation {
+	r := &Relation{
+		name:  name,
+		arity: arity,
+		cols:  make([][]int32, arity),
+		posts: make([]map[int32][]int32, arity),
+		set:   NewTupleSet(arity),
+	}
+	for p := range r.posts {
+		r.posts[p] = make(map[int32][]int32)
+	}
+	return r
+}
+
+// Name returns the relation symbol's name.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the relation's arity.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of distinct tuples.
+func (r *Relation) Len() int {
+	if r == nil || r.arity == 0 {
+		return 0
+	}
+	return len(r.cols[0])
+}
+
+// add inserts t (already arity- and range-checked by the Structure) and
+// reports whether it was new.  Posting lists and the dedup set are
+// updated in place.
+func (r *Relation) add(t []int) bool {
+	if !r.set.Add(t) {
+		return false
+	}
+	row := int32(len(r.cols[0]))
+	for p, v := range t {
+		r.cols[p] = append(r.cols[p], int32(v))
+		r.posts[p][int32(v)] = append(r.posts[p][int32(v)], row)
+	}
+	r.rowMu.Lock()
+	r.rowCache = nil
+	r.rowMu.Unlock()
+	return true
+}
+
+// Contains reports membership of t.
+func (r *Relation) Contains(t []int) bool {
+	return r != nil && r.set.Contains(t)
+}
+
+// Row copies row i into buf (which must have length >= arity) and
+// returns buf[:arity].
+func (r *Relation) Row(i int, buf []int) []int {
+	buf = buf[:r.arity]
+	for p := range r.cols {
+		buf[p] = int(r.cols[p][i])
+	}
+	return buf
+}
+
+// Value returns the element index at (row, pos) without materializing the
+// row.
+func (r *Relation) Value(row, pos int) int { return int(r.cols[pos][row]) }
+
+// Col returns position pos's column as a shared read-only view.
+func (r *Relation) Col(pos int) []int32 {
+	if r == nil {
+		return nil
+	}
+	return r.cols[pos]
+}
+
+// ForEachTuple visits every tuple in insertion order.  The slice passed
+// to fn is a single reused buffer: callers must copy it to retain it.
+// Returning false stops the iteration.
+func (r *Relation) ForEachTuple(fn func(t []int) bool) {
+	if r == nil || r.Len() == 0 {
+		return
+	}
+	buf := make([]int, r.arity)
+	n := r.Len()
+	for i := 0; i < n; i++ {
+		for p := range r.cols {
+			buf[p] = int(r.cols[p][i])
+		}
+		if !fn(buf) {
+			return
+		}
+	}
+}
+
+// ForEachWith visits every tuple whose position pos holds value v, via
+// the posting list — no relation scan, no allocation beyond the shared
+// row buffer.  Returning false stops the iteration.
+func (r *Relation) ForEachWith(pos, v int, fn func(t []int) bool) {
+	if r == nil || pos < 0 || pos >= r.arity {
+		return
+	}
+	rows := r.posts[pos][int32(v)]
+	if len(rows) == 0 {
+		return
+	}
+	buf := make([]int, r.arity)
+	for _, i := range rows {
+		for p := range r.cols {
+			buf[p] = int(r.cols[p][i])
+		}
+		if !fn(buf) {
+			return
+		}
+	}
+}
+
+// PostingLen returns the number of tuples holding v at position pos —
+// the selectivity estimate used to order candidate generation.
+func (r *Relation) PostingLen(pos, v int) int {
+	if r == nil || pos < 0 || pos >= r.arity {
+		return 0
+	}
+	return len(r.posts[pos][int32(v)])
+}
+
+// RowsWith returns the posting list (row ids) of value v at position pos
+// as a shared read-only view.
+func (r *Relation) RowsWith(pos, v int) []int32 {
+	if r == nil || pos < 0 || pos >= r.arity {
+		return nil
+	}
+	return r.posts[pos][int32(v)]
+}
+
+// rows returns (building and caching on first use) the materialized
+// [][]int view backing the deprecated Tuples shim.
+func (r *Relation) rows() [][]int {
+	if r == nil || r.Len() == 0 {
+		return nil
+	}
+	r.rowMu.Lock()
+	defer r.rowMu.Unlock()
+	if r.rowCache == nil {
+		n := r.Len()
+		flat := make([]int, n*r.arity)
+		out := make([][]int, n)
+		for i := 0; i < n; i++ {
+			row := flat[i*r.arity : (i+1)*r.arity]
+			for p := range r.cols {
+				row[p] = int(r.cols[p][i])
+			}
+			out[i] = row
+		}
+		r.rowCache = out
+	}
+	return r.rowCache
+}
+
+// clone returns a deep copy sharing nothing with r.
+func (r *Relation) clone() *Relation {
+	c := &Relation{
+		name:  r.name,
+		arity: r.arity,
+		cols:  make([][]int32, r.arity),
+		posts: make([]map[int32][]int32, r.arity),
+		set:   r.set.clone(),
+	}
+	for p := range r.cols {
+		c.cols[p] = append([]int32(nil), r.cols[p]...)
+		c.posts[p] = make(map[int32][]int32, len(r.posts[p]))
+		for v, rows := range r.posts[p] {
+			c.posts[p][v] = append([]int32(nil), rows...)
+		}
+	}
+	return c
+}

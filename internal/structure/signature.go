@@ -3,10 +3,16 @@
 // relies on: direct products, powers, disjoint unions, the one-element
 // all-loop structure I_τ, and B+kI padding.
 //
-// Universes are finite, non-empty sets of named elements; relations are
-// represented as lists of tuples (as the paper assumes).  Element order and
-// relation-symbol order are deterministic so that all algorithms built on
-// top are reproducible.
+// Universes are finite, non-empty sets of named elements.  Each relation
+// is held in a columnar Relation store: flat []int32 columns, a
+// packed-key tuple set for O(1) dedup/membership, and per-position
+// posting lists maintained incrementally on insertion.  Consumers
+// iterate allocation-free with ForEachTuple/ForEachWith or access
+// columns through Rel; the materializing [][]int accessors Tuples and
+// TuplesWith are deprecated compatibility shims retained for the
+// migration (FullScanCount counts their use).  Element order,
+// relation-symbol order, and tuple insertion order are deterministic so
+// that all algorithms built on top are reproducible.
 package structure
 
 import (

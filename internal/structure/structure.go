@@ -5,7 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
+	"sync/atomic"
 )
 
 // Structure is a finite relational structure: a non-empty universe of named
@@ -13,36 +13,52 @@ import (
 // over the universe.  Elements are addressed by dense integer indices;
 // names exist for I/O and for carrying variable identities in the
 // formula-as-structure view used throughout the paper.
+//
+// Tuples live in per-relation columnar Relation stores: flat columns, a
+// packed-key dedup set, and per-position posting lists maintained
+// incrementally on AddTuple.  Consumers iterate with ForEachTuple /
+// ForEachWith; the [][]int accessors Tuples and TuplesWith survive as
+// deprecated compatibility shims.
 type Structure struct {
 	sig   *Signature
 	elems []string
 	index map[string]int
 
-	tuples map[string][][]int         // relation name -> tuple list, insertion order
-	seen   map[string]map[string]bool // relation name -> tuple key -> present
+	// rels holds one columnar store per relation symbol, created eagerly
+	// at New so the map itself is never mutated afterwards (reads are
+	// safe from concurrent goroutines; mutation via AddTuple/AddFact must
+	// still be single-threaded).
+	rels map[string]*Relation
 
 	// version counts mutations (element or tuple additions); snapshot
 	// consumers such as engine sessions use it to detect staleness without
 	// rehashing the structure.
 	version uint64
-
-	// posIdx is a lazily built positional index guarded by posMu, making
-	// read-only use of a structure safe from concurrent goroutines
-	// (mutation via AddTuple/AddFact must still be single-threaded).
-	posMu  sync.Mutex
-	posIdx map[string][]map[int][]int // relation name -> position -> value -> tuple indices
 }
+
+// fullScans counts calls to the deprecated full-materialization shim
+// Structure.Tuples.  Hot paths (hom candidate generation, constraint
+// materialization) are required to perform zero such scans; tests assert
+// this via FullScanCount deltas.
+var fullScans atomic.Uint64
+
+// FullScanCount returns the process-wide number of deprecated
+// Tuples-shim materializations performed so far.  Test hook.
+func FullScanCount() uint64 { return fullScans.Load() }
 
 // New returns an empty structure over sig.  Note that a structure must have
 // at least one element before it is used for counting; Validate enforces
 // this.
 func New(sig *Signature) *Structure {
-	return &Structure{
-		sig:    sig,
-		index:  make(map[string]int),
-		tuples: make(map[string][][]int),
-		seen:   make(map[string]map[string]bool),
+	s := &Structure{
+		sig:   sig,
+		index: make(map[string]int),
+		rels:  make(map[string]*Relation, len(sig.rels)),
 	}
+	for _, r := range sig.rels {
+		s.rels[r.Name] = newRelation(r.Name, r.Arity)
+	}
+	return s
 }
 
 // Signature returns the structure's signature.
@@ -116,50 +132,30 @@ func (s *Structure) FreshElem(prefix string) int {
 	return i
 }
 
-func tupleKey(t []int) string {
-	var b strings.Builder
-	for i, v := range t {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(strconv.Itoa(v))
-	}
-	return b.String()
-}
+// Rel returns the columnar store of the named relation, or nil if the
+// signature lacks it.  The returned Relation is read-only for callers:
+// all mutation goes through AddTuple/AddFact.
+func (s *Structure) Rel(name string) *Relation { return s.rels[name] }
 
 // AddTuple adds the tuple (given by element indices) to relation rel.
 // Duplicate tuples are ignored.  It is an error if the relation is unknown,
 // the arity mismatches, or an index is out of range.
 func (s *Structure) AddTuple(rel string, t ...int) error {
-	ar, ok := s.sig.Arity(rel)
-	if !ok {
+	r := s.rels[rel]
+	if r == nil {
 		return fmt.Errorf("structure: unknown relation %q", rel)
 	}
-	if len(t) != ar {
-		return fmt.Errorf("structure: relation %s expects arity %d, got %d", rel, ar, len(t))
+	if len(t) != r.arity {
+		return fmt.Errorf("structure: relation %s expects arity %d, got %d", rel, r.arity, len(t))
 	}
 	for _, v := range t {
 		if v < 0 || v >= len(s.elems) {
 			return fmt.Errorf("structure: element index %d out of range in %s-tuple", v, rel)
 		}
 	}
-	key := tupleKey(t)
-	set := s.seen[rel]
-	if set == nil {
-		set = make(map[string]bool)
-		s.seen[rel] = set
+	if r.add(t) {
+		s.version++
 	}
-	if set[key] {
-		return nil
-	}
-	set[key] = true
-	tt := make([]int, len(t))
-	copy(tt, t)
-	s.tuples[rel] = append(s.tuples[rel], tt)
-	s.version++
-	s.posMu.Lock()
-	s.posIdx = nil // invalidate lazy index
-	s.posMu.Unlock()
 	return nil
 }
 
@@ -174,65 +170,62 @@ func (s *Structure) AddFact(rel string, names ...string) error {
 
 // HasTuple reports whether the tuple is in relation rel.
 func (s *Structure) HasTuple(rel string, t []int) bool {
-	set := s.seen[rel]
-	if set == nil {
-		return false
-	}
-	return set[tupleKey(t)]
+	return s.rels[rel].Contains(t)
 }
 
-// Tuples returns the tuples of relation rel (shared backing slices:
-// callers must not modify the returned tuples).
-func (s *Structure) Tuples(rel string) [][]int { return s.tuples[rel] }
+// Tuples returns the tuples of relation rel as materialized [][]int rows
+// (shared backing slices: callers must not modify the returned tuples).
+//
+// Deprecated: this is the full-scan compatibility shim over the columnar
+// store; it materializes (and caches) every row.  New code should use
+// ForEachTuple / ForEachWith, or Rel for column access.
+func (s *Structure) Tuples(rel string) [][]int {
+	fullScans.Add(1)
+	return s.rels[rel].rows()
+}
+
+// ForEachTuple visits every tuple of rel in insertion order through a
+// reused row buffer (copy to retain).  Returning false stops early.
+func (s *Structure) ForEachTuple(rel string, fn func(t []int) bool) {
+	s.rels[rel].ForEachTuple(fn)
+}
+
+// ForEachWith visits every tuple of rel whose position pos holds value v,
+// via the relation's incrementally maintained posting lists — no scan,
+// no allocation beyond the reused row buffer.  Returning false stops
+// early.
+func (s *Structure) ForEachWith(rel string, pos, v int, fn func(t []int) bool) {
+	s.rels[rel].ForEachWith(pos, v, fn)
+}
 
 // NumTuples returns the total number of tuples across all relations.
 func (s *Structure) NumTuples() int {
 	n := 0
-	for _, ts := range s.tuples {
-		n += len(ts)
+	for _, r := range s.rels {
+		n += r.Len()
 	}
 	return n
 }
 
-// TuplesWith returns the tuples of rel whose position pos holds value v,
-// using a lazily built index.
+// TuplesWith returns the tuples of rel whose position pos holds value v.
+//
+// Deprecated: thin shim over ForEachWith that allocates a fresh [][]int
+// per call; new code should use ForEachWith (zero-alloc) or
+// Rel(rel).RowsWith (row ids).
 func (s *Structure) TuplesWith(rel string, pos, v int) [][]int {
-	s.posMu.Lock()
-	if s.posIdx == nil {
-		s.buildPosIdx()
-	}
-	byPos := s.posIdx[rel]
-	s.posMu.Unlock()
-	if byPos == nil || pos >= len(byPos) {
+	r := s.rels[rel]
+	n := r.PostingLen(pos, v)
+	if n == 0 {
 		return nil
 	}
-	idxs := byPos[pos][v]
-	if len(idxs) == 0 {
-		return nil
-	}
-	ts := s.tuples[rel]
-	out := make([][]int, len(idxs))
-	for i, j := range idxs {
-		out[i] = ts[j]
-	}
+	out := make([][]int, 0, n)
+	flat := make([]int, 0, n*r.arity)
+	r.ForEachWith(pos, v, func(t []int) bool {
+		flat = append(flat, t...)
+		out = append(out, flat[len(flat)-r.arity:])
+		return true
+	})
 	return out
-}
-
-func (s *Structure) buildPosIdx() {
-	s.posIdx = make(map[string][]map[int][]int, len(s.tuples))
-	for _, r := range s.sig.rels {
-		ts := s.tuples[r.Name]
-		byPos := make([]map[int][]int, r.Arity)
-		for p := 0; p < r.Arity; p++ {
-			byPos[p] = make(map[int][]int)
-		}
-		for j, t := range ts {
-			for p, v := range t {
-				byPos[p][v] = append(byPos[p][v], j)
-			}
-		}
-		s.posIdx[r.Name] = byPos
-	}
 }
 
 // Validate checks the structure invariants (non-empty universe).
@@ -245,14 +238,18 @@ func (s *Structure) Validate() error {
 
 // Clone returns a deep copy of the structure.
 func (s *Structure) Clone() *Structure {
-	c := New(s.sig)
-	for _, name := range s.elems {
-		_, _ = c.AddElem(name)
+	c := &Structure{
+		sig:     s.sig,
+		elems:   append([]string(nil), s.elems...),
+		index:   make(map[string]int, len(s.index)),
+		rels:    make(map[string]*Relation, len(s.rels)),
+		version: s.version,
 	}
-	for _, r := range s.sig.rels {
-		for _, t := range s.tuples[r.Name] {
-			_ = c.AddTuple(r.Name, t...)
-		}
+	for name, i := range s.index {
+		c.index[name] = i
+	}
+	for name, r := range s.rels {
+		c.rels[name] = r.clone()
 	}
 	return c
 }
@@ -278,17 +275,17 @@ func (s *Structure) Induced(keep []int) (*Structure, []int) {
 		}
 	}
 	for _, r := range s.sig.rels {
-	tupleLoop:
-		for _, t := range s.tuples[r.Name] {
-			nt := make([]int, len(t))
+		nt := make([]int, r.Arity)
+		s.ForEachTuple(r.Name, func(t []int) bool {
 			for j, v := range t {
 				if !inSet[v] {
-					continue tupleLoop
+					return true
 				}
 				nt[j] = old2new[v]
 			}
 			_ = out.AddTuple(r.Name, nt...)
-		}
+			return true
+		})
 	}
 	return out, old2new
 }
@@ -305,9 +302,10 @@ func (s *Structure) RenameElems(names []string) (*Structure, error) {
 		}
 	}
 	for _, r := range s.sig.rels {
-		for _, t := range s.tuples[r.Name] {
+		s.ForEachTuple(r.Name, func(t []int) bool {
 			_ = out.AddTuple(r.Name, t...)
-		}
+			return true
+		})
 	}
 	return out, nil
 }
@@ -322,8 +320,7 @@ func (s *Structure) WithSignature(sig *Signature) (*Structure, error) {
 		_, _ = out.AddElem(name)
 	}
 	for _, r := range s.sig.rels {
-		ts := s.tuples[r.Name]
-		if len(ts) == 0 {
+		if s.rels[r.Name].Len() == 0 {
 			continue
 		}
 		ar, ok := sig.Arity(r.Name)
@@ -333,9 +330,10 @@ func (s *Structure) WithSignature(sig *Signature) (*Structure, error) {
 		if ar != r.Arity {
 			return nil, fmt.Errorf("structure: relation %s arity mismatch (%d vs %d)", r.Name, r.Arity, ar)
 		}
-		for _, t := range ts {
+		s.ForEachTuple(r.Name, func(t []int) bool {
 			_ = out.AddTuple(r.Name, t...)
-		}
+			return true
+		})
 	}
 	return out, nil
 }
@@ -356,9 +354,10 @@ func (s *Structure) ProjectSignature(sig *Signature) (*Structure, error) {
 		if ar != r.Arity {
 			return nil, fmt.Errorf("structure: relation %s arity mismatch (%d vs %d)", r.Name, ar, r.Arity)
 		}
-		for _, t := range s.tuples[r.Name] {
+		s.ForEachTuple(r.Name, func(t []int) bool {
 			_ = out.AddTuple(r.Name, t...)
-		}
+			return true
+		})
 	}
 	return out, nil
 }
@@ -396,13 +395,13 @@ func (s *Structure) Fingerprint() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "n=%d", len(s.elems))
 	for _, r := range s.sig.rels {
-		fmt.Fprintf(&b, ";%s=%d", r.Name, len(s.tuples[r.Name]))
+		fmt.Fprintf(&b, ";%s=%d", r.Name, s.rels[r.Name].Len())
 	}
 	// Degree multiset: number of tuple-slots each element occupies.
 	deg := make([]int, len(s.elems))
-	for _, ts := range s.tuples {
-		for _, t := range ts {
-			for _, v := range t {
+	for _, r := range s.rels {
+		for _, col := range r.cols {
+			for _, v := range col {
 				deg[v]++
 			}
 		}
@@ -423,7 +422,7 @@ func (s *Structure) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "universe {%s}", strings.Join(s.elems, ", "))
 	for _, r := range s.sig.rels {
-		for _, t := range s.tuples[r.Name] {
+		s.ForEachTuple(r.Name, func(t []int) bool {
 			b.WriteString("; ")
 			b.WriteString(r.Name)
 			b.WriteByte('(')
@@ -434,7 +433,8 @@ func (s *Structure) String() string {
 				b.WriteString(s.elems[v])
 			}
 			b.WriteByte(')')
-		}
+			return true
+		})
 	}
 	return b.String()
 }
