@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: build test race vet bench bench-smoke fuzz-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full benchmark pass: executor/bag-join micro-benchmarks (3 runs each,
+# raw output under bench-out/) plus the machine-readable experiment
+# tables (BENCH_<id>.json).  See scripts/bench.sh for the methodology
+# used to produce the curated BENCH_pr<N>.json comparisons at the repo
+# root.
+bench:
+	./scripts/bench.sh
+
+# Short bench suite + the same-machine parallel-regression guard: the
+# guard re-counts a medium multi-bag instance with 1 worker and with the
+# full budget and fails if the parallel executor is more than 2x slower
+# than the serial one — catching synchronization regressions without
+# depending on absolute CI machine speed.
+bench-smoke:
+	$(GO) test -run XXX -bench 'JoinCount|FPT' -benchmem -benchtime 0.2s .
+	EPCQ_BENCH_SMOKE=1 $(GO) test -run TestBenchSmoke -v ./internal/engine
+
+fuzz-smoke:
+	$(GO) test -run XXX -fuzz FuzzParseQuery -fuzztime 10s ./internal/parser
+	$(GO) test -run XXX -fuzz FuzzParseStructure -fuzztime 10s ./internal/parser

@@ -12,6 +12,7 @@ import (
 	"repro/internal/cliquered"
 	"repro/internal/core"
 	"repro/internal/count"
+	"repro/internal/engine"
 	"repro/internal/eptrans"
 	"repro/internal/graph"
 	"repro/internal/ie"
@@ -447,6 +448,64 @@ func BenchmarkJoinCount_Path10_N200(b *testing.B) {
 }
 func BenchmarkJoinCount_Cycle6_N120(b *testing.B) {
 	benchJoinCountHom(b, cycleStructure(6), 120, 6.0/120)
+}
+
+// --- JoinCount: parallel executor ----------------------------------------
+//
+// Same pure #HOM workloads with the worker budget pinned: _W1 rows run
+// the strictly serial DP, _WMax rows let subtree workers and pivot
+// sharding use every core (identical results; on a 1-core host the pair
+// measures synchronization overhead instead of speedup).  The spider
+// pattern's decomposition branches at the body, exercising the
+// subtree-parallel path on multi-core hosts.
+
+// spiderStructure is a body vertex with legs rays of length legLen each:
+// its contract-graph decomposition is a tree with legs independent
+// subtrees.
+func spiderStructure(legs, legLen int) *structure.Structure {
+	a := structure.New(workload.EdgeSig())
+	body := a.EnsureElem("b")
+	for l := 0; l < legs; l++ {
+		prev := body
+		for i := 0; i < legLen; i++ {
+			v := a.EnsureElem("s" + string(rune('a'+l)) + string(rune('0'+i)))
+			_ = a.AddTuple("E", prev, v)
+			prev = v
+		}
+	}
+	return a
+}
+
+func benchJoinCountHomWorkers(b *testing.B, pattern *structure.Structure, n int, density float64, workers int) {
+	b.Helper()
+	restore := engine.SetDefaultWorkers(workers)
+	defer restore()
+	bs := workload.GraphStructure(workload.ER(n, density, int64(n)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := count.Homomorphisms(pattern, bs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoinCountPar_Path10_N400_W1(b *testing.B) {
+	benchJoinCountHomWorkers(b, pathStructure(10), 400, 5.0/400, 1)
+}
+func BenchmarkJoinCountPar_Path10_N400_WMax(b *testing.B) {
+	benchJoinCountHomWorkers(b, pathStructure(10), 400, 5.0/400, 0)
+}
+func BenchmarkJoinCountPar_Spider3x3_N300_W1(b *testing.B) {
+	benchJoinCountHomWorkers(b, spiderStructure(3, 3), 300, 5.0/300, 1)
+}
+func BenchmarkJoinCountPar_Spider3x3_N300_WMax(b *testing.B) {
+	benchJoinCountHomWorkers(b, spiderStructure(3, 3), 300, 5.0/300, 0)
+}
+func BenchmarkJoinCountPar_Cycle6_N200_W1(b *testing.B) {
+	benchJoinCountHomWorkers(b, cycleStructure(6), 200, 6.0/200, 1)
+}
+func BenchmarkJoinCountPar_Cycle6_N200_WMax(b *testing.B) {
+	benchJoinCountHomWorkers(b, cycleStructure(6), 200, 6.0/200, 0)
 }
 
 // --- batched counting -----------------------------------------------------

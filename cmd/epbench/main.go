@@ -6,11 +6,13 @@
 //
 // Usage:
 //
-//	epbench            # full suite
-//	epbench -quick     # smaller instances
-//	epbench -run E3    # one experiment
-//	epbench -list      # list experiments
-//	epbench -json out/ # also write machine-readable BENCH_<id>.json files
+//	epbench                  # full suite
+//	epbench -quick           # smaller instances
+//	epbench -run E3          # one experiment
+//	epbench -list            # list experiments
+//	epbench -json out/       # also write machine-readable BENCH_<id>.json files
+//	epbench -workers 4       # cap the parallel executor's worker pool
+//	epbench -cpuprofile p.pb # write a pprof CPU profile of the run
 package main
 
 import (
@@ -18,33 +20,79 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "run reduced instance sizes")
-		runID   = flag.String("run", "", "run a single experiment by id (e.g. E3)")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
-		jsonDir = flag.String("json", "", "also write each table as BENCH_<id>.json into this directory")
+		quick      = flag.Bool("quick", false, "run reduced instance sizes")
+		runID      = flag.String("run", "", "run a single experiment by id (e.g. E3)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
+		jsonDir    = flag.String("json", "", "also write each table as BENCH_<id>.json into this directory")
+		workers    = flag.Int("workers", 0, "worker pool size for the parallel executor and batch pools (0 = EPCQ_WORKERS, else GOMAXPROCS)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		engine.SetDefaultWorkers(*workers)
+	}
 	if *list {
 		for _, s := range experiments.All() {
 			fmt.Printf("%-3s  %s\n", s.ID, s.Title)
 		}
 		return
 	}
-	cfg := experiments.Config{Quick: *quick}
-	specs := experiments.All()
-	if *runID != "" {
-		s, err := experiments.Get(*runID)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "epbench:", err)
 			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "epbench:", err)
+			os.Exit(1)
+		}
+	}
+	// Profiles must flush on every exit path, so the suite reports its
+	// exit code instead of calling os.Exit mid-run.
+	code := runSuite(*quick, *runID, *csvDir, *jsonDir)
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		writeHeapProfile(*memProfile)
+	}
+	os.Exit(code)
+}
+
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "epbench:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // settle live heap before the snapshot
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "epbench:", err)
+	}
+}
+
+func runSuite(quick bool, runID, csvDir, jsonDir string) int {
+	cfg := experiments.Config{Quick: quick}
+	specs := experiments.All()
+	if runID != "" {
+		s, err := experiments.Get(runID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "epbench:", err)
+			return 1
 		}
 		specs = []experiments.Spec{s}
 	}
@@ -60,31 +108,31 @@ func main() {
 		elapsed := time.Since(start)
 		fmt.Print(tbl.Render())
 		fmt.Printf("elapsed: %v\n\n", elapsed.Round(time.Millisecond))
-		if *csvDir != "" {
-			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+		if csvDir != "" {
+			if err := os.MkdirAll(csvDir, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, "epbench:", err)
-				os.Exit(1)
+				return 1
 			}
-			path := filepath.Join(*csvDir, s.ID+".csv")
+			path := filepath.Join(csvDir, s.ID+".csv")
 			if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "epbench:", err)
-				os.Exit(1)
+				return 1
 			}
 		}
-		if *jsonDir != "" {
-			if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+		if jsonDir != "" {
+			if err := os.MkdirAll(jsonDir, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, "epbench:", err)
-				os.Exit(1)
+				return 1
 			}
 			data, err := tbl.JSON(elapsed)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "epbench:", err)
-				os.Exit(1)
+				return 1
 			}
-			path := filepath.Join(*jsonDir, "BENCH_"+s.ID+".json")
+			path := filepath.Join(jsonDir, "BENCH_"+s.ID+".json")
 			if err := os.WriteFile(path, data, 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "epbench:", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		if !tbl.OK {
@@ -93,6 +141,7 @@ func main() {
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "epbench: %d experiment(s) failed validation\n", failed)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

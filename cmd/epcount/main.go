@@ -35,15 +35,16 @@ func main() {
 		verify    = flag.Bool("verify", false, "cross-check with a second engine")
 		timing    = flag.Bool("time", false, "print elapsed wall-clock time")
 		answers   = flag.Int("answers", 0, "also print up to N answers (-1 = all)")
+		workers   = flag.Int("workers", 0, "worker pool size for the parallel join-count executor (0 = EPCQ_WORKERS, else GOMAXPROCS)")
 	)
 	flag.Parse()
-	if err := run(*queryStr, *queryFile, *dataFile, *engine, *explain, *verify, *timing, *answers); err != nil {
+	if err := run(*queryStr, *queryFile, *dataFile, *engine, *explain, *verify, *timing, *answers, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "epcount:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queryStr, queryFile, dataFile, engineName string, explain, verify, timing bool, answers int) error {
+func run(queryStr, queryFile, dataFile, engineName string, explain, verify, timing bool, answers, workers int) error {
 	if (queryStr == "") == (queryFile == "") {
 		return fmt.Errorf("exactly one of -query or -queryfile is required")
 	}
@@ -82,6 +83,9 @@ func run(queryStr, queryFile, dataFile, engineName string, explain, verify, timi
 	c, err := core.NewCounter(q, sig, eng)
 	if err != nil {
 		return err
+	}
+	if workers > 0 {
+		c.WithWorkers(workers)
 	}
 	if explain {
 		fmt.Print(c.Explain())

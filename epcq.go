@@ -13,12 +13,17 @@
 //   - the production counting pipeline of the paper (Theorem 3.1 front-end
 //   - the Theorem 2.11 FPT counting algorithm), executed by the layered
 //     Plan→Executor→Session engine of internal/engine: queries compile
-//     once to engine plans, structures materialize constraint tables once
-//     per session, and the join-count DP runs on packed uint64 keys with
-//     an int64 fast path;
+//     once to engine plans, structures materialize constraint tables and
+//     bind per-node constraint orders with prefix hash indexes once per
+//     session, and the join-count DP runs index probes on packed uint64
+//     keys with an int64 fast path, spreading independent decomposition
+//     subtrees and sharded pivot tables over a bounded worker pool
+//     (bit-identical to serial execution);
 //   - repeated counting (Counter.Count), concurrent term evaluation
 //     (Counter.CountParallel), and batched counting over many structures
 //     on a bounded worker pool (Counter.CountBatch / epcq.CountBatch);
+//     the worker budget comes from Counter.WithWorkers, the EPCQ_WORKERS
+//     environment variable, or GOMAXPROCS, in that order;
 //   - the decidable equivalence notions of Section 5 (counting
 //     equivalence, semi-counting equivalence, logical equivalence);
 //   - the φ⁺ translation of the equivalence theorem and both counting

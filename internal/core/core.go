@@ -35,6 +35,48 @@ type Counter struct {
 	// (constraint tables) lives in per-structure engine.Sessions shared
 	// across terms, repeated counts, and batches.
 	plans map[*structure.Structure]engine.Plan
+
+	// workers caps the counter's total parallelism — the executor's
+	// intra-plan workers and the CountParallel/CountBatch fan-out pools
+	// share the budget.  0 means the process default (EPCQ_WORKERS, else
+	// GOMAXPROCS); see WithWorkers.
+	workers int
+}
+
+// WithWorkers sets the counter's worker budget (n ≤ 0 restores the
+// process default: EPCQ_WORKERS, else GOMAXPROCS) and returns the
+// counter for chaining.  The budget is shared: CountParallel and
+// CountBatch split it between their fan-out pool and the per-term
+// executors, so total concurrency stays at most n.  Counts are
+// bit-identical for every budget.
+func (c *Counter) WithWorkers(n int) *Counter {
+	if n < 0 {
+		n = 0
+	}
+	c.workers = n
+	return c
+}
+
+// effWorkers resolves the counter's worker budget.
+func (c *Counter) effWorkers() int { return engine.EffectiveWorkers(c.workers) }
+
+// splitWorkers divides the counter's budget between an outer fan-out of
+// n tasks and the executors inside each: outer gets min(n, budget)
+// slots, inner gets the leftover share (≥ 1).
+func (c *Counter) splitWorkers(n int) (outer, inner int) {
+	w := c.effWorkers()
+	outer = w
+	if outer > n {
+		outer = n
+	}
+	if outer < 1 {
+		outer = 1
+	}
+	inner = w / outer
+	if inner < 1 {
+		inner = 1
+	}
+	return outer, inner
 }
 
 // termEngine maps the configured engine to the engine used for the φ⁻af
@@ -80,19 +122,16 @@ func NewCounter(q logic.Query, sig *structure.Signature, eng count.PPEngine) (*C
 // sentence disjuncts short-circuit to |B|^|lib|; otherwise the signed sum
 // over φ⁻af is evaluated with the configured pp engine.
 func (c *Counter) Count(b *structure.Structure) (*big.Int, error) {
-	if !c.Compiled.Sig.Equal(b.Signature()) {
-		return nil, fmt.Errorf("core: query signature %v differs from structure signature %v",
-			c.Compiled.Sig, b.Signature())
-	}
-	return eptrans.CountEPViaPP(c.Compiled, b, c.ppCounter())
+	return c.countWith(b, c.workers)
 }
 
 // CountParallel is Count with the φ⁻af terms evaluated concurrently on a
-// bounded worker pool (at most GOMAXPROCS goroutines).  Structures are
-// safe for concurrent read-only use, the shared engine.Session is
-// concurrency-safe, and the signed sum is order-independent, so the
-// result is identical to Count.  Worth it when φ⁻af has several
-// expensive terms.
+// bounded worker pool.  The counter's worker budget (WithWorkers, else
+// EPCQ_WORKERS, else GOMAXPROCS) is split between the term fan-out and
+// the executor inside each term.  Structures are safe for concurrent
+// read-only use, the shared engine.Session is concurrency-safe, and the
+// signed sum is order-independent, so the result is identical to Count.
+// Worth it when φ⁻af has several expensive terms.
 func (c *Counter) CountParallel(b *structure.Structure) (*big.Int, error) {
 	if !c.Compiled.Sig.Equal(b.Signature()) {
 		return nil, fmt.Errorf("core: query signature %v differs from structure signature %v",
@@ -107,9 +146,10 @@ func (c *Counter) CountParallel(b *structure.Structure) (*big.Int, error) {
 			return c.Compiled.MaxCount(b), nil
 		}
 	}
+	outer, inner := c.splitWorkers(len(c.Compiled.Minus))
 	results := make([]*big.Int, len(c.Compiled.Minus))
-	err := engine.RunBounded(len(c.Compiled.Minus), 0, func(i int) error {
-		v, err := c.termCount(c.Compiled.Minus[i].Formula, sess)
+	err := engine.RunBounded(len(c.Compiled.Minus), outer, func(i int) error {
+		v, err := c.termCount(c.Compiled.Minus[i].Formula, sess, inner)
 		results[i] = v
 		return err
 	})
@@ -124,13 +164,16 @@ func (c *Counter) CountParallel(b *structure.Structure) (*big.Int, error) {
 }
 
 // CountBatch counts the query on every structure of the batch, spreading
-// the structures over a bounded worker pool (at most GOMAXPROCS
-// goroutines; the φ⁻af terms of each structure run serially inside its
-// worker).  Result i corresponds to bs[i].
+// the structures over a bounded worker pool (the counter's worker
+// budget, split between the batch fan-out and the executor inside each
+// worker: large batches run one structure per worker with serial
+// executors, small batches give each structure a share of the cores).
+// Result i corresponds to bs[i].
 func (c *Counter) CountBatch(bs []*structure.Structure) ([]*big.Int, error) {
+	outer, inner := c.splitWorkers(len(bs))
 	out := make([]*big.Int, len(bs))
-	err := engine.RunBounded(len(bs), 0, func(i int) error {
-		v, err := c.Count(bs[i])
+	err := engine.RunBounded(len(bs), outer, func(i int) error {
+		v, err := c.countWith(bs[i], inner)
 		out[i] = v
 		return err
 	})
@@ -140,23 +183,34 @@ func (c *Counter) CountBatch(bs []*structure.Structure) ([]*big.Int, error) {
 	return out, nil
 }
 
+// countWith is Count with an explicit executor worker budget per term.
+func (c *Counter) countWith(b *structure.Structure, workers int) (*big.Int, error) {
+	if !c.Compiled.Sig.Equal(b.Signature()) {
+		return nil, fmt.Errorf("core: query signature %v differs from structure signature %v",
+			c.Compiled.Sig, b.Signature())
+	}
+	return eptrans.CountEPViaPP(c.Compiled, b, c.ppCounterWith(workers))
+}
+
 // termCount evaluates one φ⁻af term inside a session, through its
-// precompiled plan.
-func (c *Counter) termCount(p pp.PP, sess *engine.Session) (*big.Int, error) {
+// precompiled plan, with the given executor worker budget.
+func (c *Counter) termCount(p pp.PP, sess *engine.Session, workers int) (*big.Int, error) {
 	if plan, ok := c.plans[p.A]; ok {
-		return plan.CountIn(sess)
+		return engine.CountInWorkers(plan, sess, workers)
 	}
 	pl, err := engine.Compile(p, termEngine(c.Engine))
 	if err != nil {
 		return nil, err
 	}
-	return pl.CountIn(sess)
+	return engine.CountInWorkers(pl, sess, workers)
 }
 
-func (c *Counter) ppCounter() eptrans.PPCounter {
+func (c *Counter) ppCounter() eptrans.PPCounter { return c.ppCounterWith(c.workers) }
+
+func (c *Counter) ppCounterWith(workers int) eptrans.PPCounter {
 	return func(p pp.PP, b *structure.Structure) (*big.Int, error) {
 		if plan, ok := c.plans[p.A]; ok {
-			return plan.CountIn(engine.SessionFor(b))
+			return engine.CountInWorkers(plan, engine.SessionFor(b), workers)
 		}
 		return count.PP(p, b, c.Engine)
 	}

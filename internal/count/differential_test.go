@@ -1,9 +1,11 @@
 package count
 
 import (
+	"math/big"
 	"math/rand"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/parser"
 	"repro/internal/pp"
 	"repro/internal/structure"
@@ -80,6 +82,116 @@ func TestIndexedCountsMatchBruteForceAndInsertionOrder(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// Differential property for the parallel executor: with the parallel
+// thresholds forced down so subtree workers and pivot sharding engage on
+// tiny instances, the multi-worker join-count DP must agree with the
+// strictly serial path and with the EPDirect brute-force reference on
+// randomized formulas and structures.  Runs under the -race CI job like
+// every test in this package.
+func TestParallelExecutorMatchesSerialAndBruteForce(t *testing.T) {
+	restore := engine.SetParallelThresholds(1, 1)
+	defer restore()
+	sig := workload.EdgeSig()
+	queries := []string{
+		"q(a,b,c) := E(a,b) & E(b,c)",
+		"q(a,b,c,d) := E(a,b) & E(b,c) & E(c,d)",
+		"q(x,y,z) := E(x,y) & E(y,z) & E(z,x)",
+		"q(x) := exists u, v. E(x,u) & E(u,v)",
+		"q(a,b,c,d) := E(a,b) & E(c,d)",
+		"q(x,y) := E(x,y) & E(y,x) & (exists s, u. E(s,u) & E(u,s))",
+	}
+	rng := rand.New(rand.NewSource(3))
+	for seed := int64(0); seed < 8; seed++ {
+		b := workload.RandomStructure(sig, 5, 0.3+0.05*float64(seed%3), seed)
+		shuffled := reinsertShuffled(b, rng)
+		for _, src := range queries {
+			q := parser.MustQuery(src)
+			want, err := EPDirect(q, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := pp.FromDisjunct(sig, q.Lib, q.Disjuncts()[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl, err := engine.Compile(p, engine.FPTNoCore)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for which, bs := range []*structure.Structure{b, shuffled} {
+				s := engine.SessionFor(bs)
+				serial, err := engine.CountInWorkers(pl, s, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				par, err := engine.CountInWorkers(pl, s, 6)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if serial.Cmp(want) != 0 || par.Cmp(want) != 0 {
+					t.Fatalf("seed %d, query %q, structure %d: serial %v, parallel %v, brute-force %v",
+						seed, src, which, serial, par, want)
+				}
+			}
+		}
+	}
+}
+
+// The parallel/serial agreement must survive the big.Int overflow
+// fallback: counting homomorphisms of a path into a large complete graph
+// with loops exceeds int64 inside the DP (hom(P_12, K_41^loop) = 41^13).
+func TestParallelExecutorMatchesSerialThroughOverflow(t *testing.T) {
+	restore := engine.SetParallelThresholds(1, 1)
+	defer restore()
+	const n, edges = 41, 12
+	b := structure.New(workload.EdgeSig())
+	for i := 0; i < n; i++ {
+		b.EnsureElem(workload.EdgeSig().Rels()[0].Name + "_" + string(rune('a'+i%26)) + string(rune('a'+i/26)))
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if err := b.AddTuple("E", i, j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	a := structure.New(workload.EdgeSig())
+	all := make([]int, edges+1)
+	for i := range all {
+		a.EnsureElem("x" + string(rune('a'+i)))
+		all[i] = i
+	}
+	for i := 0; i < edges; i++ {
+		if err := a.AddTuple("E", i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := pp.New(a, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := engine.Compile(p, engine.FPTNoCore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := engine.SessionFor(b)
+	serial, err := engine.CountInWorkers(pl, s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := engine.CountInWorkers(pl, s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Int).Exp(big.NewInt(n), big.NewInt(edges+1), nil)
+	if serial.Cmp(want) != 0 || par.Cmp(want) != 0 {
+		t.Fatalf("serial %v, parallel %v, want %v", serial, par, want)
+	}
+	if par.IsInt64() {
+		t.Fatal("instance too small to force the big.Int fallback")
 	}
 }
 

@@ -9,14 +9,26 @@
 //   - the Executor layer (exec.go, prune.go): a semi-join pre-pruning
 //     pass that reduces each constraint table against the value supports
 //     of the other constraints on its variables, then the join-count
-//     dynamic program over packed uint64 bag keys (with a spill path for
-//     wide bags), an int64 fast path with overflow detection before
-//     big.Int, and pooled scratch buffers;
+//     dynamic program itself.  The DP is index-driven and multi-core:
+//     at plan-bind time (once per component and session) each node gets
+//     a constraint bind order (smallest table first, then maximal
+//     bound-prefix overlap) and each non-pivot step gets a hash index of
+//     its table keyed on the packed values of the already-bound part of
+//     its scope, so enumeration is prefix-index probes instead of
+//     backtracking scans; at run time independent subtrees of the
+//     decomposition execute concurrently on a bounded worker pool and
+//     large pivot tables are sharded row-wise into per-worker
+//     accumulators (bit-identical to serial execution, with a serial
+//     fallback below a size threshold).  Bag keys are packed uint64
+//     (with a spill path for wide bags), counts are int64 with overflow
+//     detection before big.Int, and scratch buffers are pooled.  The
+//     worker budget comes from the EPCQ_WORKERS environment variable,
+//     SetDefaultWorkers, or per-call overrides (CountInWorkers);
 //   - the Session layer (session.go): per-structure state — fingerprint,
 //     constraint tables materialized straight off the columnar relation
-//     stores, cached sentence checks — shared across φ⁻af terms,
-//     repeated counts, and batched counting, with LRU eviction of the
-//     session registry under cap pressure.
+//     stores, bound execution plans, cached sentence checks — shared
+//     across φ⁻af terms, repeated counts, and batched counting, with
+//     LRU eviction of the session registry under cap pressure.
 package engine
 
 import (
@@ -97,6 +109,20 @@ type Plan interface {
 	// CountIn executes the plan inside an existing session (the structure
 	// is the session's); materialized tables are reused and extended.
 	CountIn(s *Session) (*big.Int, error)
+}
+
+// CountInWorkers runs the plan inside a session with its executor-level
+// parallelism capped at workers (≤ 0 means the process default; see
+// EffectiveWorkers).  Plans without intra-plan parallelism (brute,
+// projection) ignore the knob.  Counts are bit-identical for every
+// workers value.
+func CountInWorkers(pl Plan, s *Session, workers int) (*big.Int, error) {
+	if wp, ok := pl.(interface {
+		CountInWorkers(*Session, int) (*big.Int, error)
+	}); ok {
+		return wp.CountInWorkers(s, workers)
+	}
+	return pl.CountIn(s)
 }
 
 // Compile builds a plan for the formula under the named engine.  Results

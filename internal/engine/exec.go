@@ -4,7 +4,6 @@ import (
 	"math"
 	"math/big"
 	"math/bits"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -15,8 +14,24 @@ import (
 // component.  Node tables map bag assignments to the number of extensions
 // over the subtree's variables; children merge by grouping on shared bag
 // variables; bag assignments are enumerated by joining the local
-// constraint tables smallest-first and free-enumerating locally
-// unconstrained bag variables.
+// constraint tables along a precomputed bind order, probing each table's
+// prefix index with the packed values of the already-bound part of its
+// scope.
+//
+// The work is split across three moments:
+//
+//   - compile time (plan_fpt.go): per node, the scope→bag position maps,
+//     the locally unconstrained ("free") bag positions, and the child
+//     projection index pairs — everything derivable from the formula;
+//   - bind time (newExecPlan, once per component and session): the
+//     constraint bind order per node (smallest table first, then maximal
+//     bound-prefix overlap), the bound/free split of every scope, and the
+//     prefix hash indexes of the tables — everything derivable from the
+//     formula plus the table sizes;
+//   - run time (joinCount): pure index probes and map accumulation, with
+//     independent subtrees of the decomposition processed concurrently on
+//     a bounded worker pool and large pivot tables sharded row-wise into
+//     per-worker accumulators merged with addW.
 //
 // Two representation choices make this the hot path's fast path:
 //
@@ -25,6 +40,12 @@ import (
 //     wide bags;
 //   - extension counts are int64 until an addition or multiplication
 //     would overflow, then fall back to big.Int per entry.
+//
+// Parallel execution is bit-identical to serial execution: every merge is
+// a sum of non-negative wnums, and a partial sum of non-negative terms
+// overflows int64 only if the full sum does, so the packed/big
+// representation of every entry — not just its value — is independent of
+// merge order.
 
 // packedKeyBudget is the number of key bits available before the packed
 // representation spills to strings.  It is a variable (not a constant)
@@ -42,6 +63,32 @@ func init() { packedKeyBudget.Store(64) }
 func SetPackedKeyBudget(bits int) (restore func()) {
 	old := packedKeyBudget.Swap(int64(bits))
 	return func() { packedKeyBudget.Store(old) }
+}
+
+// parallelMinWork is the minimum total table size (rows summed over the
+// component's constraint tables) before joinCount engages the parallel
+// machinery at all; below it the DP runs strictly serially and pays zero
+// synchronization.  Atomic so tests can force the parallel path on tiny
+// instances.
+var parallelMinWork atomic.Int64
+
+// shardMinRows is the minimum pivot size (rows of a node's first table,
+// or |B| for a purely free node) before the node's enumeration is
+// sharded across workers.
+var shardMinRows atomic.Int64
+
+func init() {
+	parallelMinWork.Store(2048)
+	shardMinRows.Store(128)
+}
+
+// SetParallelThresholds overrides the parallel-DP engagement thresholds
+// (test hook; lets differential tests force the concurrent path on
+// instances small enough to cross-check against brute force).  Returns a
+// restore function; callers must not interleave override/restore pairs.
+func SetParallelThresholds(minWork, minShardRows int) (restore func()) {
+	ow, os := parallelMinWork.Swap(int64(minWork)), shardMinRows.Swap(int64(minShardRows))
+	return func() { parallelMinWork.Store(ow); shardMinRows.Store(os) }
 }
 
 // keyCodec packs fixed-width assignments of values in [0, domSize) into
@@ -144,12 +191,15 @@ type wmap struct {
 	sk    map[string]wnum
 }
 
-func newWmap(codec keyCodec) *wmap {
+func newWmap(codec keyCodec) *wmap { return newWmapSized(codec, 0) }
+
+// newWmapSized presizes the accumulator for about n entries (0 = unknown).
+func newWmapSized(codec keyCodec, n int) *wmap {
 	m := &wmap{codec: codec}
 	if codec.packed {
-		m.pk = make(map[uint64]wnum)
+		m.pk = make(map[uint64]wnum, n)
 	} else {
-		m.sk = make(map[string]wnum)
+		m.sk = make(map[string]wnum, n)
 	}
 	return m
 }
@@ -175,6 +225,21 @@ func (m *wmap) get(vals []int, buf []byte) (wnum, bool) {
 	return w, ok
 }
 
+// merge folds every entry of o into m (same codec).  The merged values —
+// including their int64/big.Int representation — are independent of
+// merge order because all weights are non-negative.
+func (m *wmap) merge(o *wmap) {
+	if m.codec.packed {
+		for k, w := range o.pk {
+			m.pk[k] = addW(m.pk[k], w)
+		}
+		return
+	}
+	for k, w := range o.sk {
+		m.sk[k] = addW(m.sk[k], w)
+	}
+}
+
 // forEach visits every (assignment, weight) pair, decoding keys into the
 // supplied scratch slice (len == codec.width, reused between visits).
 func (m *wmap) forEach(vals []int, fn func(vals []int, w wnum)) {
@@ -192,202 +257,506 @@ func (m *wmap) forEach(vals []int, fn func(vals []int, w wnum)) {
 }
 
 // Table is a materialized constraint: the set of allowed assignments over
-// its scope (variable positions), deduplicated.  Tables are immutable
-// once built and shared across plans via the Session.
+// its scope (variable positions), deduplicated, stored as flat row-major
+// []int32 cells like the structure package's columnar relations.  Tables
+// are immutable once built and shared across plans via the Session;
+// prefix indexes (value-prefix → row ids) are built lazily per bound
+// position subset and cached on the table.
 type Table struct {
-	tuples [][]int
+	width int
+	n     int
+	dom   int // domain size of the values (index key packing)
+	flat  []int32
+
+	mu  sync.Mutex
+	idx map[uint64]*tableIndex // bound-position bitmask → index
 }
 
-// Len returns the number of distinct rows.
-func (t *Table) Len() int { return len(t.tuples) }
+func newTable(width, dom int) *Table { return &Table{width: width, dom: dom} }
 
-// execScratch holds the per-call buffers of the executor, pooled across
-// calls to keep the inner loop allocation-free.
+// Len returns the number of distinct rows.
+func (t *Table) Len() int { return t.n }
+
+// appendRow copies vals as a new row (the caller guarantees dedup).
+func (t *Table) appendRow(vals []int) {
+	for _, v := range vals {
+		t.flat = append(t.flat, int32(v))
+	}
+	t.n++
+}
+
+// tableIndex is a hash index of a table keyed on the packed values of a
+// fixed subset of its scope positions: probe(prefix) → row ids.
+type tableIndex struct {
+	pos   []int // scope positions covered, ascending
+	codec keyCodec
+	pk    map[uint64][]int32
+	sk    map[string][]int32
+}
+
+// prefixIndex returns (building and caching on first use) the index of t
+// keyed on the given scope positions (ascending, len ≤ 64).  Safe for
+// concurrent use; in practice it is called only at plan-bind time so run
+// time probes never touch the mutex.
+func (t *Table) prefixIndex(pos []int) *tableIndex {
+	var mask uint64
+	for _, j := range pos {
+		mask |= 1 << uint(j)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ix, ok := t.idx[mask]; ok {
+		return ix
+	}
+	ix := &tableIndex{pos: append([]int(nil), pos...), codec: newKeyCodec(t.dom, len(pos))}
+	vals := make([]int, len(pos))
+	if ix.codec.packed {
+		ix.pk = make(map[uint64][]int32, t.n)
+		for r := 0; r < t.n; r++ {
+			base := r * t.width
+			for i, j := range pos {
+				vals[i] = int(t.flat[base+j])
+			}
+			k := ix.codec.pack(vals)
+			ix.pk[k] = append(ix.pk[k], int32(r))
+		}
+	} else {
+		ix.sk = make(map[string][]int32, t.n)
+		buf := make([]byte, 0, 8*len(pos))
+		for r := 0; r < t.n; r++ {
+			base := r * t.width
+			for i, j := range pos {
+				vals[i] = int(t.flat[base+j])
+			}
+			k := spillKey(vals, buf)
+			ix.sk[k] = append(ix.sk[k], int32(r))
+		}
+	}
+	if t.idx == nil {
+		t.idx = make(map[uint64]*tableIndex)
+	}
+	t.idx[mask] = ix
+	return ix
+}
+
+// execStep is one constraint of a node in bind order: bind the rows of
+// table (all of them for the pivot step, the prefix-index probe results
+// otherwise) into the bag assignment.
+type execStep struct {
+	table *Table
+	// idx is nil for the pivot step and for steps whose scope shares no
+	// bound position (then every row is enumerated).
+	idx      *tableIndex
+	boundBag []int // bag positions supplying the probe key, aligned with idx.pos
+	// freeScope/freeBag are the scope positions this step newly binds and
+	// the bag positions they bind into.
+	freeScope []int
+	freeBag   []int
+}
+
+// execNode is a decomposition node bound to a session's tables.
+type execNode struct {
+	width   int
+	steps   []execStep
+	freePos []int // bag positions covered by no constraint at this node
+}
+
+// execPlan is a component bound to one session's (pruned) tables: bind
+// orders chosen, prefix indexes built.  It is cached per (component,
+// session) and reused by every subsequent count, so executing it does
+// zero formula-dependent setup.
+type execPlan struct {
+	tables []*Table
+	nodes  []execNode
+	work   int // total table rows: parallel engagement estimate
+}
+
+// newExecPlan chooses the per-node bind orders for the given tables and
+// builds the prefix indexes every non-pivot step probes.  Heuristic:
+// smallest table first, then maximal bound-prefix overlap (ties: smaller
+// table, then placement order).
+func newExecPlan(pc *planComponent, tables []*Table, domSize int) *execPlan {
+	ep := &execPlan{tables: tables, nodes: make([]execNode, len(pc.dec.Bags))}
+	for _, t := range tables {
+		ep.work += t.Len()
+	}
+	for ni, bag := range pc.dec.Bags {
+		meta := &pc.nodes[ni]
+		cons := pc.consAt[ni]
+		en := &ep.nodes[ni]
+		en.width = len(bag)
+		en.freePos = meta.freePos
+		if len(cons) == 0 {
+			continue
+		}
+		bound := make([]bool, len(bag))
+		used := make([]bool, len(cons))
+		en.steps = make([]execStep, 0, len(cons))
+		for len(en.steps) < len(cons) {
+			best, bestOv, bestSz := -1, -1, -1
+			for k := range cons {
+				if used[k] {
+					continue
+				}
+				ov := 0
+				if len(en.steps) > 0 { // pivot choice is by size alone
+					for _, bi := range meta.scopeBag[k] {
+						if bound[bi] {
+							ov++
+						}
+					}
+				}
+				sz := tables[cons[k]].Len()
+				if best == -1 || ov > bestOv || (ov == bestOv && sz < bestSz) {
+					best, bestOv, bestSz = k, ov, sz
+				}
+			}
+			used[best] = true
+			t := tables[cons[best]]
+			st := execStep{table: t}
+			var boundScope []int
+			for j, bi := range meta.scopeBag[best] {
+				if bound[bi] {
+					boundScope = append(boundScope, j)
+					st.boundBag = append(st.boundBag, bi)
+				} else {
+					st.freeScope = append(st.freeScope, j)
+					st.freeBag = append(st.freeBag, bi)
+				}
+			}
+			for _, bi := range st.freeBag {
+				bound[bi] = true
+			}
+			// Scope widths beyond 64 cannot be mask-keyed; fall back to
+			// row enumeration (unreachable for bag widths the packed and
+			// spill key paths are designed for).
+			if len(boundScope) > 0 && t.width <= 64 {
+				st.idx = t.prefixIndex(boundScope)
+			}
+			en.steps = append(en.steps, st)
+		}
+	}
+	return ep
+}
+
+// execScratch holds the per-worker buffers of the executor, pooled across
+// calls to keep the inner loops allocation-free.
 type execScratch struct {
-	assign   []int
-	assigned []bool
-	proj     []int
-	vals     []int
-	freeIdx  []int
-	bound    []int // stack of bound bag positions across rec levels
-	keyBuf   []byte
+	assign []int
+	proj   []int
+	vals   []int
+	keyBuf []byte
 }
 
 var scratchPool = sync.Pool{New: func() any { return &execScratch{} }}
 
+// ensure grows each buffer to at least width.  Every buffer's capacity is
+// checked independently: pooled scratches cycle through plans of
+// different widths, and a joint check on one buffer would leave the
+// others — notably keyBuf, whose required capacity is 8×width bytes for
+// spill keys — at a stale smaller capacity.
 func (sc *execScratch) ensure(width int) {
 	if cap(sc.assign) < width {
 		sc.assign = make([]int, width)
-		sc.assigned = make([]bool, width)
+	}
+	if cap(sc.proj) < width {
 		sc.proj = make([]int, width)
+	}
+	if cap(sc.vals) < width {
 		sc.vals = make([]int, width)
-		sc.freeIdx = make([]int, width)
+	}
+	if cap(sc.keyBuf) < 8*width {
 		sc.keyBuf = make([]byte, 0, 8*width)
 	}
-	sc.bound = sc.bound[:0]
 }
 
-// joinCount runs the join-count DP over the compiled decomposition and
-// returns the total number of assignments of the component's active
-// variables (with multiplicities counting extensions of the quantified
-// subtree variables — which are none at the root, so the total is exact).
-func joinCount(pc *planComponent, tables []*Table, domSize int) *big.Int {
-	dec := pc.dec
+// childGroup is one child's node table projected onto the bag positions
+// it shares with the parent.
+type childGroup struct {
+	sharedBag []int // indices into the parent bag
+	sums      *wmap // keyed by the shared projection
+}
+
+// dpRun is one joinCount execution: the compiled component, its bound
+// plan, and the worker pool.  sem is nil for strictly serial runs; it
+// holds workers-1 tokens otherwise, shared between subtree-level and
+// shard-level parallelism.
+type dpRun struct {
+	pc   *planComponent
+	ep   *execPlan
+	dom  int
+	maxW int
+	sem  chan struct{}
+}
+
+func (r *dpRun) scratch() *execScratch {
 	sc := scratchPool.Get().(*execScratch)
-	maxWidth := 0
-	for _, bag := range dec.Bags {
-		if len(bag) > maxWidth {
-			maxWidth = len(bag)
+	sc.ensure(r.maxW)
+	return sc
+}
+
+// joinCount runs the join-count DP over the bound plan and returns the
+// total number of assignments of the component's active variables (with
+// multiplicities counting extensions of the quantified subtree variables
+// — which are none at the root, so the total is exact).  workers caps the
+// concurrency; the result is bit-identical for every workers value.
+func joinCount(pc *planComponent, ep *execPlan, domSize, workers int) *big.Int {
+	maxW := 0
+	for _, bag := range pc.dec.Bags {
+		if len(bag) > maxW {
+			maxW = len(bag)
 		}
 	}
-	sc.ensure(maxWidth)
-	defer scratchPool.Put(sc)
-
-	type nodeTable struct {
-		vars []int
-		m    *wmap
+	r := &dpRun{pc: pc, ep: ep, dom: domSize, maxW: maxW}
+	if workers > 1 && int64(ep.work) >= parallelMinWork.Load() {
+		r.sem = make(chan struct{}, workers-1)
 	}
-	memo := make([]*nodeTable, len(dec.Bags))
-
-	var process func(ni int) *nodeTable
-	process = func(ni int) *nodeTable {
-		if memo[ni] != nil {
-			return memo[ni]
-		}
-		bag := dec.Bags[ni]
-		nt := &nodeTable{vars: bag, m: newWmap(newKeyCodec(domSize, len(bag)))}
-
-		type childGroup struct {
-			shared []int // indices into bag
-			sums   *wmap
-		}
-		var groups []childGroup
-		for _, c := range pc.children[ni] {
-			ct := process(c)
-			sharedBagIdx, sharedChildIdx := sharedPositions(bag, ct.vars)
-			g := childGroup{shared: sharedBagIdx, sums: newWmap(newKeyCodec(domSize, len(sharedChildIdx)))}
-			proj := make([]int, len(sharedChildIdx))
-			vals := make([]int, len(ct.vars))
-			ct.m.forEach(vals, func(vals []int, w wnum) {
-				for i, ci := range sharedChildIdx {
-					proj[i] = vals[ci]
-				}
-				g.sums.add(proj, w, sc.keyBuf)
-			})
-			groups = append(groups, g)
-			memo[c] = nil // child table is folded in; free it for GC
-		}
-
-		cons := append([]int(nil), pc.consAt[ni]...)
-		sort.Slice(cons, func(i, j int) bool {
-			return tables[cons[i]].Len() < tables[cons[j]].Len()
-		})
-		bagPos := make(map[int]int, len(bag))
-		for i, v := range bag {
-			bagPos[v] = i
-		}
-		assign := sc.assign[:len(bag)]
-		assigned := sc.assigned[:len(bag)]
-		for i := range assigned {
-			assigned[i] = false
-		}
-
-		emit := func() {
-			weight := wnum{lo: 1}
-			for _, g := range groups {
-				proj := sc.proj[:len(g.shared)]
-				for i, bi := range g.shared {
-					proj[i] = assign[bi]
-				}
-				s, ok := g.sums.get(proj, sc.keyBuf)
-				if !ok {
-					return
-				}
-				weight = mulW(weight, s)
-			}
-			nt.m.add(assign, weight, sc.keyBuf)
-		}
-
-		var rec func(ci int)
-		rec = func(ci int) {
-			if ci == len(cons) {
-				freeIdx := sc.freeIdx[:0]
-				for i := range bag {
-					if !assigned[i] {
-						freeIdx = append(freeIdx, i)
-					}
-				}
-				var fill func(k int)
-				fill = func(k int) {
-					if k == len(freeIdx) {
-						emit()
-						return
-					}
-					for v := 0; v < domSize; v++ {
-						assign[freeIdx[k]] = v
-						assigned[freeIdx[k]] = true
-						fill(k + 1)
-					}
-					assigned[freeIdx[k]] = false
-				}
-				fill(0)
-				return
-			}
-			t := tables[cons[ci]]
-			scope := pc.constraints[cons[ci]].scope
-		tupleLoop:
-			for _, tup := range t.tuples {
-				// sc.bound is a stack shared across rec levels: this level
-				// pushes its bindings and pops back to base on exit.
-				base := len(sc.bound)
-				for j, s := range scope {
-					bi := bagPos[s]
-					if assigned[bi] {
-						if assign[bi] != tup[j] {
-							for _, u := range sc.bound[base:] {
-								assigned[u] = false
-							}
-							sc.bound = sc.bound[:base]
-							continue tupleLoop
-						}
-					} else {
-						assign[bi] = tup[j]
-						assigned[bi] = true
-						sc.bound = append(sc.bound, bi)
-					}
-				}
-				rec(ci + 1)
-				for _, u := range sc.bound[base:] {
-					assigned[u] = false
-				}
-				sc.bound = sc.bound[:base]
-			}
-		}
-		rec(0)
-		memo[ni] = nt
-		return nt
-	}
-
-	rt := process(pc.root)
+	root := r.process(pc.root, nil)
 	total := new(big.Int)
-	vals := sc.vals[:rt.m.codec.width]
-	rt.m.forEach(vals, func(_ []int, w wnum) {
+	vals := make([]int, root.codec.width)
+	root.forEach(vals, func(_ []int, w wnum) {
 		w.addInto(total)
 	})
 	return total
 }
 
-// sharedPositions returns, for the variables common to bag and childVars,
-// their indices in each.
-func sharedPositions(bag, childVars []int) (bagIdx, childIdx []int) {
-	pos := make(map[int]int, len(bag))
-	for i, v := range bag {
-		pos[v] = i
+// projSize bounds the number of distinct keys of a projection onto w
+// positions: dom^w, saturating at lim.  dom ≤ 1 covers the empty and
+// singleton universes (at most one key either way).
+func projSize(dom, w, lim int) int {
+	if dom <= 1 || w == 0 {
+		return 1
 	}
-	for j, v := range childVars {
-		if i, ok := pos[v]; ok {
+	n := 1
+	for i := 0; i < w; i++ {
+		if n > lim/dom {
+			return lim
+		}
+		n *= dom
+	}
+	if n > lim {
+		return lim
+	}
+	return n
+}
+
+// process computes node ni's contribution, keyed directly on the bag
+// positions proj (the positions ni shares with its parent; empty at the
+// root, aggregating everything into one entry).  Emitting straight into
+// the parent's key space fuses the DP's project-and-group step into the
+// enumeration — no full-width node table is ever materialized.  Child
+// subtrees run concurrently when the pool has capacity.
+func (r *dpRun) process(ni int, proj []int) *wmap {
+	children := r.pc.children[ni]
+	meta := &r.pc.nodes[ni]
+	groups := make([]*childGroup, len(children))
+	if r.sem != nil && len(children) > 1 {
+		var wg sync.WaitGroup
+		for i := 1; i < len(children); i++ {
+			select {
+			case r.sem <- struct{}{}:
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					groups[i] = &childGroup{
+						sharedBag: meta.groups[i].sharedBag,
+						sums:      r.process(children[i], meta.groups[i].sharedChild),
+					}
+					<-r.sem
+				}(i)
+			default:
+				groups[i] = &childGroup{
+					sharedBag: meta.groups[i].sharedBag,
+					sums:      r.process(children[i], meta.groups[i].sharedChild),
+				}
+			}
+		}
+		groups[0] = &childGroup{
+			sharedBag: meta.groups[0].sharedBag,
+			sums:      r.process(children[0], meta.groups[0].sharedChild),
+		}
+		wg.Wait()
+	} else {
+		for i, c := range children {
+			groups[i] = &childGroup{
+				sharedBag: meta.groups[i].sharedBag,
+				sums:      r.process(c, meta.groups[i].sharedChild),
+			}
+		}
+	}
+
+	en := &r.ep.nodes[ni]
+	hint := projSize(r.dom, len(proj), en.pivotSize(r.dom))
+	out := newWmapSized(newKeyCodec(r.dom, len(proj)), hint)
+	r.enumerate(en, groups, out, proj)
+	return out
+}
+
+// pivotSize is the sharding range of a node: the pivot table's row count,
+// or the domain size when the node has no constraints (then the first
+// free variable's values are sharded).
+func (en *execNode) pivotSize(domSize int) int {
+	if len(en.steps) > 0 {
+		return en.steps[0].table.n
+	}
+	if len(en.freePos) > 0 {
+		return domSize
+	}
+	return 1
+}
+
+// enumerate fills out with node en's contributions keyed on outProj,
+// sharding the pivot range across workers when the pool has capacity and
+// the range is large enough to amortize the merge.
+func (r *dpRun) enumerate(en *execNode, groups []*childGroup, out *wmap, outProj []int) {
+	pivotN := en.pivotSize(r.dom)
+	extra := 0
+	if r.sem != nil && int64(pivotN) >= shardMinRows.Load() {
+	acquire:
+		for extra < cap(r.sem) && extra+1 < pivotN {
+			select {
+			case r.sem <- struct{}{}:
+				extra++
+			default:
+				break acquire
+			}
+		}
+	}
+	if extra == 0 {
+		sc := r.scratch()
+		r.enumRange(en, groups, out, outProj, sc, 0, pivotN)
+		scratchPool.Put(sc)
+		return
+	}
+	shards := extra + 1
+	chunk := (pivotN + shards - 1) / shards
+	parts := make([]*wmap, shards)
+	var wg sync.WaitGroup
+	for s := 1; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			defer func() { <-r.sem }()
+			lo, hi := s*chunk, (s+1)*chunk
+			if hi > pivotN {
+				hi = pivotN
+			}
+			m := newWmap(out.codec)
+			sc := r.scratch()
+			r.enumRange(en, groups, m, outProj, sc, lo, hi)
+			scratchPool.Put(sc)
+			parts[s] = m
+		}(s)
+	}
+	sc := r.scratch()
+	r.enumRange(en, groups, out, outProj, sc, 0, chunk)
+	scratchPool.Put(sc)
+	wg.Wait()
+	for s := 1; s < shards; s++ {
+		out.merge(parts[s])
+	}
+}
+
+// enumRange enumerates the node's bag assignments with the pivot range
+// restricted to [lo, hi): rows of the pivot table, or values of the first
+// free variable for constraint-less nodes.  Bind orders are fixed at plan
+// bind, so no assigned-flag bookkeeping or rollback happens here — every
+// bag position is written by exactly one binder before any deeper read.
+func (r *dpRun) enumRange(en *execNode, groups []*childGroup, m *wmap, outProj []int, sc *execScratch, lo, hi int) {
+	assign := sc.assign[:en.width]
+	emit := func() {
+		weight := wnum{lo: 1}
+		for _, g := range groups {
+			proj := sc.proj[:len(g.sharedBag)]
+			for i, bi := range g.sharedBag {
+				proj[i] = assign[bi]
+			}
+			s, ok := g.sums.get(proj, sc.keyBuf)
+			if !ok {
+				return
+			}
+			weight = mulW(weight, s)
+		}
+		pv := sc.proj[:len(outProj)]
+		for i, bi := range outProj {
+			pv[i] = assign[bi]
+		}
+		m.add(pv, weight, sc.keyBuf)
+	}
+	free := en.freePos
+	var fill func(k int)
+	fill = func(k int) {
+		if k == len(free) {
+			emit()
+			return
+		}
+		loK, hiK := 0, r.dom
+		if len(en.steps) == 0 && k == 0 {
+			loK, hiK = lo, hi
+		}
+		for v := loK; v < hiK; v++ {
+			assign[free[k]] = v
+			fill(k + 1)
+		}
+	}
+	var recStep func(si int)
+	recStep = func(si int) {
+		if si == len(en.steps) {
+			fill(0)
+			return
+		}
+		st := &en.steps[si]
+		t := st.table
+		if st.idx == nil {
+			rlo, rhi := 0, t.n
+			if si == 0 {
+				rlo, rhi = lo, hi
+			}
+			for row := rlo; row < rhi; row++ {
+				base := row * t.width
+				for i, j := range st.freeScope {
+					assign[st.freeBag[i]] = int(t.flat[base+j])
+				}
+				recStep(si + 1)
+			}
+			return
+		}
+		vals := sc.vals[:len(st.boundBag)]
+		for i, bi := range st.boundBag {
+			vals[i] = assign[bi]
+		}
+		var rows []int32
+		if st.idx.codec.packed {
+			rows = st.idx.pk[st.idx.codec.pack(vals)]
+		} else {
+			rows = st.idx.sk[spillKey(vals, sc.keyBuf)]
+		}
+		for _, row := range rows {
+			base := int(row) * t.width
+			for i, j := range st.freeScope {
+				assign[st.freeBag[i]] = int(t.flat[base+j])
+			}
+			recStep(si + 1)
+		}
+	}
+	recStep(0)
+}
+
+// sharedPositions returns, for the variables common to bag and childVars
+// (both sorted ascending), their indices in each.
+func sharedPositions(bag, childVars []int) (bagIdx, childIdx []int) {
+	i, j := 0, 0
+	for i < len(bag) && j < len(childVars) {
+		switch {
+		case bag[i] < childVars[j]:
+			i++
+		case bag[i] > childVars[j]:
+			j++
+		default:
 			bagIdx = append(bagIdx, i)
 			childIdx = append(childIdx, j)
+			i++
+			j++
 		}
 	}
 	return

@@ -14,10 +14,12 @@ import (
 // fptPlan is the compiled form of the Theorem 2.11 counting algorithm for
 // a fixed pp-formula: everything that depends only on the formula — the
 // core, its components, the ∃-components with their interfaces, the
-// contract-graph tree decompositions and the constraint-to-bag assignment
-// — is computed once, so that repeated counts against different
-// structures only materialize the structure-dependent predicate tables
-// (cached in the Session) and run the join-count DP (exec.go).
+// contract-graph tree decompositions, the constraint-to-bag assignment
+// and the per-node scope/projection position maps — is computed once, so
+// that repeated counts against different structures only materialize the
+// structure-dependent predicate tables (cached in the Session), bind the
+// per-node constraint orders to the table sizes (cached per component and
+// session), and run the join-count DP (exec.go).
 type fptPlan struct {
 	name  Name
 	p     pp.PP
@@ -42,6 +44,24 @@ type planConstraint struct {
 	key tableKey
 }
 
+// groupMeta is the compile-time part of one parent–child merge: the
+// positions the child's bag shares with the parent's, in each.
+type groupMeta struct {
+	child       int
+	sharedBag   []int // indices into the parent bag
+	sharedChild []int // indices into the child bag
+}
+
+// nodeMeta is the compile-time description of one decomposition node:
+// where each local constraint's scope lands in the bag, which bag
+// positions no local constraint covers, and the child merge projections.
+// All of it used to be recomputed inside every joinCount call.
+type nodeMeta struct {
+	scopeBag [][]int // aligned with consAt[node]: scope position j → bag index
+	freePos  []int   // bag positions covered by no constraint at this node
+	groups   []groupMeta
+}
+
 type planComponent struct {
 	// sentence components: check hom existence of structureOnly.
 	sentence      bool
@@ -57,6 +77,7 @@ type planComponent struct {
 	dec         *tw.Decomposition
 	consAt      [][]int // node -> constraint indices
 	children    [][]int
+	nodes       []nodeMeta
 	root        int
 }
 
@@ -97,7 +118,10 @@ func compileComponent(comp pp.PP) (*planComponent, error) {
 	}
 	var cons []planConstraint
 
-	// (a) atoms entirely on liberal variables.
+	// (a) atoms entirely on liberal variables.  One sorted-dedup scratch
+	// buffer serves every atom; position-in-scope lookups are binary
+	// searches on the sorted scope instead of a throwaway map per atom.
+	var scopeBuf []int
 	for _, r := range comp.A.Signature().Rels() {
 		comp.A.ForEachTuple(r.Name, func(t []int) bool {
 			for _, v := range t {
@@ -105,22 +129,20 @@ func compileComponent(comp pp.PP) (*planComponent, error) {
 					return true
 				}
 			}
-			scopeSet := map[int]bool{}
+			scopeBuf = scopeBuf[:0]
 			for _, v := range t {
-				scopeSet[posOf[v]] = true
+				scopeBuf = append(scopeBuf, posOf[v])
 			}
-			scope := make([]int, 0, len(scopeSet))
-			for s := range scopeSet {
-				scope = append(scope, s)
-			}
-			sort.Ints(scope)
-			posInScope := make(map[int]int, len(scope))
-			for i, s := range scope {
-				posInScope[s] = i
+			sort.Ints(scopeBuf)
+			scope := make([]int, 0, len(scopeBuf))
+			for i, s := range scopeBuf {
+				if i == 0 || s != scopeBuf[i-1] {
+					scope = append(scope, s)
+				}
 			}
 			tmpl := make([]int, len(t))
 			for j, v := range t {
-				tmpl[j] = posInScope[posOf[v]]
+				tmpl[j] = sort.SearchInts(scope, posOf[v])
 			}
 			cons = append(cons, planConstraint{scope: scope, rel: r.Name, atomTmpl: tmpl})
 			return true
@@ -220,8 +242,42 @@ func compileComponent(comp pp.PP) (*planComponent, error) {
 				pc.children[p] = append(pc.children[p], i)
 			}
 		}
+		pc.compileNodes()
 	}
 	return pc, nil
+}
+
+// compileNodes precomputes the per-node executor metadata (scope→bag
+// position maps, free bag positions, child merge projections) so that
+// binding and executing a plan does zero formula-dependent setup.  Bags
+// are sorted, so position lookups are binary searches and shared
+// positions come from linear merges.
+func (pc *planComponent) compileNodes() {
+	pc.nodes = make([]nodeMeta, len(pc.dec.Bags))
+	for ni, bag := range pc.dec.Bags {
+		nm := &pc.nodes[ni]
+		covered := make([]bool, len(bag))
+		nm.scopeBag = make([][]int, len(pc.consAt[ni]))
+		for k, ci := range pc.consAt[ni] {
+			scope := pc.constraints[ci].scope
+			sb := make([]int, len(scope))
+			for j, v := range scope {
+				bi := sort.SearchInts(bag, v) // containsAll guaranteed the hit
+				sb[j] = bi
+				covered[bi] = true
+			}
+			nm.scopeBag[k] = sb
+		}
+		for i := range bag {
+			if !covered[i] {
+				nm.freePos = append(nm.freePos, i)
+			}
+		}
+		for _, c := range pc.children[ni] {
+			sb, sc := sharedPositions(bag, pc.dec.Bags[c])
+			nm.groups = append(nm.groups, groupMeta{child: c, sharedBag: sb, sharedChild: sc})
+		}
+	}
 }
 
 func (pl *fptPlan) Engine() Name   { return pl.name }
@@ -236,16 +292,25 @@ func (pl *fptPlan) Count(b *structure.Structure) (*big.Int, error) {
 	return pl.CountIn(SessionFor(b))
 }
 
-// CountIn executes the plan inside a session, reusing any constraint
-// tables already materialized there.
+// CountIn executes the plan inside a session with the process-default
+// worker budget, reusing any constraint tables already materialized
+// there.
 func (pl *fptPlan) CountIn(s *Session) (*big.Int, error) {
+	return pl.CountInWorkers(s, 0)
+}
+
+// CountInWorkers is CountIn with the executor's intra-plan parallelism
+// capped at workers (≤ 0 means the process default: EPCQ_WORKERS, else
+// GOMAXPROCS).  The count is bit-identical for every workers value.
+func (pl *fptPlan) CountInWorkers(s *Session, workers int) (*big.Int, error) {
 	b := s.B
 	if !pl.sig.Equal(b.Signature()) {
 		return nil, errSignature(pl.p, b)
 	}
+	workers = EffectiveWorkers(workers)
 	total := big.NewInt(1)
 	for _, pc := range pl.comps {
-		f, err := pc.count(s)
+		f, err := pc.count(s, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -257,7 +322,7 @@ func (pl *fptPlan) CountIn(s *Session) (*big.Int, error) {
 	return total, nil
 }
 
-func (pc *planComponent) count(s *Session) (*big.Int, error) {
+func (pc *planComponent) count(s *Session, workers int) (*big.Int, error) {
 	if pc.sentence {
 		if s.SentenceHolds(pc.structureOnly) {
 			return big.NewInt(1), nil
@@ -277,14 +342,14 @@ func (pc *planComponent) count(s *Session) (*big.Int, error) {
 	for ci := range pc.constraints {
 		tables[ci] = s.tableFor(&pc.constraints[ci])
 	}
-	// Semi-join pre-pruning: drop rows unsupported by the other
-	// constraints on a shared variable before the DP joins the tables
-	// (computed once per component and session, cached thereafter).
-	tables, empty := s.prunedFor(pc, tables)
+	// Bind the component to this session's tables: semi-join pre-pruning,
+	// per-node bind orders, prefix indexes — computed once per
+	// (component, session) and cached thereafter.
+	ep, empty := s.execPlanFor(pc, tables)
 	if empty {
 		return new(big.Int), nil
 	}
-	joined := joinCount(pc, tables, s.B.Size())
+	joined := joinCount(pc, ep, s.B.Size(), workers)
 	result.Mul(result, joined)
 	return result, nil
 }
@@ -294,15 +359,18 @@ func errSignature(p pp.PP, b *structure.Structure) error {
 		p.A.Signature(), b.Signature())
 }
 
+// containsAll reports whether the sorted set contains every element of
+// the sorted subset (both ascending, distinct).
 func containsAll(set, subset []int) bool {
-	m := make(map[int]bool, len(set))
-	for _, v := range set {
-		m[v] = true
-	}
+	i := 0
 	for _, v := range subset {
-		if !m[v] {
+		for i < len(set) && set[i] < v {
+			i++
+		}
+		if i == len(set) || set[i] != v {
 			return false
 		}
+		i++
 	}
 	return true
 }

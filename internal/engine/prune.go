@@ -6,13 +6,14 @@ package engine
 // all draw from these same tables).  A row whose value at some variable
 // appears in no other covering constraint can contribute to no complete
 // assignment, so dropping it leaves every count unchanged while
-// shrinking the intermediate tables the DP joins and groups.
+// shrinking the intermediate tables the DP joins and groups — and the
+// prefix indexes the bound plan builds over them.
 //
 // The pass runs a few rounds of (compute per-variable supports →
 // filter rows) to a fixpoint or a small cap; each round is linear in
 // the total number of table cells.  Session-cached tables are shared
-// across plans and never mutated: filtering builds a new Table whose
-// rows alias the original backing slices.
+// across plans and never mutated: filtering builds a new columnar Table
+// with the surviving rows compacted.
 
 // pruneMinRows skips the pass when every table is tiny: the DP on such
 // inputs is cheaper than even one filtering round.
@@ -60,8 +61,8 @@ func semiJoinPrune(pc *planComponent, tables []*Table, domSize int) ([]*Table, b
 				for i := range support {
 					support[i] = 0
 				}
-				for _, row := range t.tuples {
-					u := row[j]
+				for off := j; off < len(t.flat); off += t.width {
+					u := int(t.flat[off])
 					support[u>>6] |= 1 << (u & 63)
 				}
 				ab := varBits(v)
@@ -73,36 +74,37 @@ func semiJoinPrune(pc *planComponent, tables []*Table, domSize int) ([]*Table, b
 		// Filter each table to rows whose every value is still allowed.
 		// Tables are never mutated (they may be the shared session
 		// copies): on the first removed row the survivors so far are
-		// copied into a fresh row-header slice, which then aliases the
-		// original rows.
+		// copied into a fresh table, which then receives the rest.
 		changed := false
 		for ci, t := range cur {
 			scope := pc.constraints[ci].scope
-			removed := false
-			var ntup [][]int
+			w := t.width
+			var nt *Table
 		rowLoop:
-			for ri, row := range t.tuples {
+			for r := 0; r < t.n; r++ {
+				base := r * w
 				for j, v := range scope {
-					u := row[j]
+					u := int(t.flat[base+j])
 					if varBits(v)[u>>6]&(1<<(u&63)) == 0 {
-						if !removed {
-							removed = true
-							ntup = make([][]int, ri, len(t.tuples))
-							copy(ntup, t.tuples[:ri])
+						if nt == nil {
+							nt = newTable(w, t.dom)
+							nt.flat = append(make([]int32, 0, len(t.flat)), t.flat[:base]...)
+							nt.n = r
 						}
 						continue rowLoop
 					}
 				}
-				if removed {
-					ntup = append(ntup, row)
+				if nt != nil {
+					nt.flat = append(nt.flat, t.flat[base:base+w]...)
+					nt.n++
 				}
 			}
-			if !removed {
+			if nt == nil {
 				continue
 			}
-			cur[ci] = &Table{tuples: ntup}
+			cur[ci] = nt
 			changed = true
-			if len(ntup) == 0 {
+			if nt.n == 0 {
 				return cur, true
 			}
 		}

@@ -35,13 +35,15 @@ type Session struct {
 	pruned    map[*planComponent]*pruneEntry
 }
 
-// pruneEntry guards one component's semi-join pre-pruning result: the
-// pruned tables are deterministic per (component, session), so repeated
-// counts reuse them instead of re-running the fixpoint.
+// pruneEntry guards one component's bound execution plan: semi-join
+// pre-pruning, per-node bind orders, and table prefix indexes are all
+// deterministic per (component, session), so repeated counts reuse the
+// bound plan instead of re-running the fixpoint and re-sorting
+// constraints.
 type pruneEntry struct {
-	once   sync.Once
-	tables []*Table
-	empty  bool
+	once  sync.Once
+	ep    *execPlan
+	empty bool
 }
 
 // tableEntry guards one table's materialization: the registry lock is
@@ -146,12 +148,14 @@ func makeTableKey(c *planConstraint) tableKey {
 // pruned results); reaching it wipes that map wholesale.
 const sessionMemoCap = 1024
 
-// prunedFor returns the component's semi-join-pruned constraint tables
-// (and whether some table emptied), running the pruning pass once per
-// (component, session) and sharing the result across repeated counts.
-// tables must be the component's session-materialized tables, which are
-// deterministic here, so first-caller-wins is sound.
-func (s *Session) prunedFor(pc *planComponent, tables []*Table) ([]*Table, bool) {
+// execPlanFor returns the component's execution plan bound to this
+// session's tables (or empty=true when pruning emptied some table): the
+// semi-join pre-pruning pass, the per-node constraint bind orders, and
+// the prefix indexes the steps probe, computed once per (component,
+// session) and shared across repeated counts.  tables must be the
+// component's session-materialized tables, which are deterministic here,
+// so first-caller-wins is sound.
+func (s *Session) execPlanFor(pc *planComponent, tables []*Table) (*execPlan, bool) {
 	s.mu.Lock()
 	e := s.pruned[pc]
 	if e == nil {
@@ -162,8 +166,15 @@ func (s *Session) prunedFor(pc *planComponent, tables []*Table) ([]*Table, bool)
 		s.pruned[pc] = e
 	}
 	s.mu.Unlock()
-	e.once.Do(func() { e.tables, e.empty = semiJoinPrune(pc, tables, s.B.Size()) })
-	return e.tables, e.empty
+	e.once.Do(func() {
+		pruned, empty := semiJoinPrune(pc, tables, s.B.Size())
+		if empty {
+			e.empty = true
+			return
+		}
+		e.ep = newExecPlan(pc, pruned, s.B.Size())
+	})
+	return e.ep, e.empty
 }
 
 // tableFor returns the materialized table of the constraint, building it
@@ -186,13 +197,13 @@ func (s *Session) tableFor(c *planConstraint) *Table {
 }
 
 func (s *Session) materialize(c *planConstraint) *Table {
-	t := &Table{}
 	width := len(c.scope)
+	t := newTable(width, s.B.Size())
 	if c.sub == nil {
 		// Atom constraint: project B's relation through the template
-		// directly off the columnar store, deduplicating projected rows
-		// with a packed-key tuple set (no string keys, no [][]int
-		// materialization of the relation).
+		// directly off the columnar store into the table's flat row-major
+		// cells, deduplicating projected rows with a packed-key tuple set
+		// (no string keys, no [][]int materialization of the relation).
 		rel := s.B.Rel(c.rel)
 		n := rel.Len()
 		if n == 0 {
@@ -203,7 +214,6 @@ func (s *Session) materialize(c *planConstraint) *Table {
 			cols[j] = rel.Col(j)
 		}
 		dedup := structure.NewTupleSet(width)
-		arena := newRowArena(width)
 		vals := make([]int, width)
 		seen := make([]bool, width)
 	rowLoop:
@@ -220,42 +230,18 @@ func (s *Session) materialize(c *planConstraint) *Table {
 				seen[si] = true
 			}
 			if dedup.Add(vals) {
-				t.tuples = append(t.tuples, arena.put(vals))
+				t.appendRow(vals)
 			}
 		}
 		return t
 	}
 	// ∃-component predicate: the extendable interface assignments.  Each
 	// distinct assignment is reported exactly once.
-	arena := newRowArena(len(c.iface))
 	hom.ForEachExtendable(c.sub, s.B, c.iface, hom.Options{}, func(vals []int) bool {
-		t.tuples = append(t.tuples, arena.put(vals))
+		t.appendRow(vals)
 		return true
 	})
 	return t
-}
-
-// rowArena hands out immutable row copies carved from chunked flat
-// backing arrays: one allocation per ~1k rows instead of one per row.
-// Earlier rows stay valid because full chunks are abandoned, never
-// grown.
-type rowArena struct {
-	width int
-	flat  []int
-}
-
-func newRowArena(width int) *rowArena { return &rowArena{width: width} }
-
-func (a *rowArena) put(vals []int) []int {
-	if len(a.flat)+a.width > cap(a.flat) {
-		n := 1024 * a.width
-		if n == 0 {
-			n = 1
-		}
-		a.flat = make([]int, 0, n)
-	}
-	a.flat = append(a.flat, vals...)
-	return a.flat[len(a.flat)-a.width:]
 }
 
 // The session registry memoizes sessions per structure identity, keyed by

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Full benchmark pass for the counting engine.  Produces:
+#
+#   bench-out/joincount.txt   executor micro-benchmarks (-count 3 raw output)
+#   bench-out/store.txt       relation store / hom / materialization benches
+#   bench-out/BENCH_<id>.json machine-readable experiment tables (epbench)
+#
+# Methodology for the curated BENCH_pr<N>.json files at the repo root
+# (see also the "note" field inside each): check out the previous PR's
+# commit, run this script there, run it again on the current tree, and
+# take the per-benchmark median of the three -count runs from each side.
+# Batch-to-batch machine noise can exceed small deltas; re-measure
+# suspicious rows with interleaved old/new runs before reporting them.
+# Record the worker budget (EPCQ_WORKERS / -workers) and core count next
+# to any parallel-executor row: on a 1-core host WMax rows measure
+# synchronization overhead, not speedup.
+set -e
+cd "$(dirname "$0")/.."
+mkdir -p bench-out
+
+echo "== executor / join-count benchmarks (3 runs) =="
+go test -run XXX -bench 'JoinCount|FPT|CountBatch|CounterParallel' -benchmem -count 3 . | tee bench-out/joincount.txt
+
+echo "== store / hom / materialization benchmarks (3 runs) =="
+go test -run XXX -bench 'Store_|Hom_|Materialize_' -benchmem -count 3 ./internal/structure ./internal/hom ./internal/engine | tee bench-out/store.txt
+
+echo "== experiment tables (machine-readable) =="
+go run ./cmd/epbench -quick -json bench-out/
+
+echo "done: raw results under bench-out/"
