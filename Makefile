@@ -28,9 +28,10 @@ bench:
 # than the serial one — catching synchronization regressions without
 # depending on absolute CI machine speed.
 bench-smoke:
-	$(GO) test -run XXX -bench 'JoinCount|FPT' -benchmem -benchtime 0.2s .
+	$(GO) test -run XXX -bench 'JoinCount|FPT|UnionDedup' -benchmem -benchtime 0.2s .
 	EPCQ_BENCH_SMOKE=1 $(GO) test -run TestBenchSmoke -v ./internal/engine
 
 fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzParseQuery -fuzztime 10s ./internal/parser
 	$(GO) test -run XXX -fuzz FuzzParseStructure -fuzztime 10s ./internal/parser
+	$(GO) test -run XXX -fuzz FuzzFingerprintInvariance -fuzztime 10s ./internal/term

@@ -508,6 +508,84 @@ func BenchmarkJoinCountPar_Cycle6_N200_WMax(b *testing.B) {
 	benchJoinCountHomWorkers(b, cycleStructure(6), 200, 6.0/200, 0)
 }
 
+// --- union-heavy term dedup -----------------------------------------------
+//
+// Four overlapping free disjuncts (the rotations of a directed 2-path
+// over cyclic liberal variables) plus a sentence disjunct: the 2⁴−1 raw
+// inclusion–exclusion terms collapse to a handful of canonical cores, so
+// these rows are dominated by how well the pipeline dedupes — compile
+// measures the pool (raw-stage interning saves corings), count measures
+// the per-session count memo on repeated/batched counting.
+
+const unionDedupSrc = `u(w,x,y,z) := E(x,y) & E(y,z)
+	| E(y,z) & E(z,w)
+	| E(z,w) & E(w,x)
+	| E(w,x) & E(x,y)`
+
+func BenchmarkUnionDedup_Compile(b *testing.B) {
+	q := parser.MustQuery(unionDedupSrc)
+	sig := workload.EdgeSig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewCounter(q, sig, count.EngineFPT); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnionDedup_Count(b *testing.B) {
+	q := parser.MustQuery(unionDedupSrc)
+	c, err := core.NewCounter(q, workload.EdgeSig(), count.EngineFPT)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bs := workload.GraphStructure(workload.ER(30, 0.15, 11))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Count(bs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnionDedup_CountBatch8(b *testing.B) {
+	q := parser.MustQuery(unionDedupSrc)
+	c, err := core.NewCounter(q, workload.EdgeSig(), count.EngineFPT)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]*structure.Structure, 8)
+	for i := range batch {
+		batch[i] = workload.GraphStructure(workload.ER(24, 0.18, int64(100+i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.CountBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnionDedup_EPUnionTerms(b *testing.B) {
+	q := parser.MustQuery(unionDedupSrc)
+	sig := workload.EdgeSig()
+	var ds []pp.PP
+	for _, d := range q.Disjuncts() {
+		p, err := pp.FromDisjunct(sig, q.Lib, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ds = append(ds, p)
+	}
+	bs := workload.GraphStructure(workload.ER(24, 0.18, 5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := count.EPUnionTerms(ds, bs, count.EngineFPT, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- batched counting -----------------------------------------------------
 
 func BenchmarkCounter_CountBatch16(b *testing.B) {

@@ -32,19 +32,20 @@ func main() {
 		dataFile  = flag.String("data", "", "fact file with the structure (required)")
 		engine    = flag.String("engine", "fpt", "counting engine: fpt | fpt-nocore | projection | brute")
 		explain   = flag.Bool("explain", false, "print the compiled pipeline before counting")
+		stats     = flag.Bool("stats", false, "print term-interning and cache statistics after counting")
 		verify    = flag.Bool("verify", false, "cross-check with a second engine")
 		timing    = flag.Bool("time", false, "print elapsed wall-clock time")
 		answers   = flag.Int("answers", 0, "also print up to N answers (-1 = all)")
 		workers   = flag.Int("workers", 0, "worker pool size for the parallel join-count executor (0 = EPCQ_WORKERS, else GOMAXPROCS)")
 	)
 	flag.Parse()
-	if err := run(*queryStr, *queryFile, *dataFile, *engine, *explain, *verify, *timing, *answers, *workers); err != nil {
+	if err := run(*queryStr, *queryFile, *dataFile, *engine, *explain, *stats, *verify, *timing, *answers, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "epcount:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queryStr, queryFile, dataFile, engineName string, explain, verify, timing bool, answers, workers int) error {
+func run(queryStr, queryFile, dataFile, engineName string, explain, stats, verify, timing bool, answers, workers int) error {
 	if (queryStr == "") == (queryFile == "") {
 		return fmt.Errorf("exactly one of -query or -queryfile is required")
 	}
@@ -109,6 +110,9 @@ func run(queryStr, queryFile, dataFile, engineName string, explain, verify, timi
 	}
 	if timing {
 		fmt.Fprintf(os.Stderr, "elapsed: %v (|B| = %d, %d tuples)\n", elapsed, b.Size(), b.NumTuples())
+	}
+	if stats {
+		fmt.Fprint(os.Stderr, c.Stats())
 	}
 	if answers != 0 {
 		limit := answers

@@ -12,13 +12,17 @@
 //     queries with designated "liberal" variables) and structures;
 //   - the production counting pipeline of the paper (Theorem 3.1 front-end
 //   - the Theorem 2.11 FPT counting algorithm), executed by the layered
-//     Plan→Executor→Session engine of internal/engine: queries compile
-//     once to engine plans, structures materialize constraint tables and
-//     bind per-node constraint orders with prefix hash indexes once per
-//     session, and the join-count DP runs index probes on packed uint64
-//     keys with an int64 fast path, spreading independent decomposition
-//     subtrees and sharded pivot tables over a bounded worker pool
-//     (bit-identical to serial execution);
+//     Term pool→Plan→Executor→Session engine of internal/term +
+//     internal/engine: inclusion–exclusion terms intern by canonical
+//     core fingerprint (counting-equivalent terms merge coefficients and
+//     share compiled plans; cancelled classes never compile), queries
+//     compile once to engine plans, structures materialize constraint
+//     tables, bind per-node constraint orders with prefix hash indexes,
+//     and memoize one count per unique term once per session, and the
+//     join-count DP runs index probes on packed uint64 keys with an
+//     int64 fast path, spreading independent decomposition subtrees and
+//     sharded pivot tables over a bounded worker pool (bit-identical to
+//     serial execution);
 //   - repeated counting (Counter.Count), concurrent term evaluation
 //     (Counter.CountParallel), and batched counting over many structures
 //     on a bounded worker pool (Counter.CountBatch / epcq.CountBatch);

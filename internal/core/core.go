@@ -1,18 +1,22 @@
 // Package core ties the paper's machinery into the production counting
 // pipeline — the primary contribution of Chen & Mengel (PODS 2016) made
 // executable.  A Counter compiles an ep-query once through the
-// Theorem 3.1 front-end (normalization, inclusion–exclusion with
-// cancellation, sentence-disjunct filtering) and then counts answers on
-// any number of structures via the pp-formulas of φ⁺, each counted with
-// the Theorem 2.11 FPT algorithm (or a chosen fallback engine).  It also
-// exposes the trichotomy classification of the compiled query
-// (Theorem 3.2).
+// Theorem 3.1 front-end (normalization, inclusion–exclusion interned
+// through the canonical term pool of internal/term, sentence-disjunct
+// filtering) and then counts answers on any number of structures via
+// the unique φ⁻af counting classes, each counted with the Theorem 2.11
+// FPT algorithm (or a chosen fallback engine) through the fingerprint-
+// keyed plan cache and the per-session count memo.  It also exposes the
+// trichotomy classification of the compiled query (Theorem 3.2) and the
+// interning/caching telemetry (Stats, Explain).
 package core
 
 import (
 	"fmt"
 	"math/big"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/classify"
 	"repro/internal/count"
@@ -21,6 +25,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/pp"
 	"repro/internal/structure"
+	"repro/internal/term"
 )
 
 // Counter is a compiled ep-query ready for repeated counting.
@@ -28,19 +33,45 @@ type Counter struct {
 	Compiled *eptrans.Compiled
 	Engine   count.PPEngine
 
-	// plans holds one compiled engine.Plan per φ⁻af term (keyed by the
-	// term's structure identity): the formula-dependent work — cores,
-	// ∃-components, tree decompositions, constraint schemes — is paid
-	// once at construction, for every engine.  Structure-dependent work
-	// (constraint tables) lives in per-structure engine.Sessions shared
-	// across terms, repeated counts, and batches.
-	plans map[*structure.Structure]engine.Plan
+	// terms holds the unique φ⁻af counting classes, each carrying its
+	// canonical fingerprint, merged coefficient, and compiled
+	// engine.Plan: the formula-dependent work — cores, ∃-components,
+	// tree decompositions, constraint schemes — is paid once at
+	// construction, and shared across Counters through the fingerprint-
+	// keyed plan cache.  Structure-dependent work (constraint tables,
+	// per-fingerprint counts) lives in per-structure engine.Sessions
+	// shared across terms, repeated counts, and batches.
+	terms []compiledTerm
+	// termIdx maps a φ⁻af term's structure identity to its terms index —
+	// the lookup the oracle-reduction paths use.
+	termIdx map[*structure.Structure]int
+	// sharedPlans counts terms whose plan was already in the
+	// fingerprint-keyed cache at construction.
+	sharedPlans int
+
+	// Count-cache telemetry: per-fingerprint session memo hits/misses,
+	// surfaced through Stats/Explain.
+	countHits   atomic.Uint64
+	countMisses atomic.Uint64
+
+	// Explain's static report (normalized disjuncts, φ*, classification)
+	// is classification-heavy; it is built once and reused.
+	explainOnce   sync.Once
+	explainStatic string
 
 	// workers caps the counter's total parallelism — the executor's
 	// intra-plan workers and the CountParallel/CountBatch fan-out pools
 	// share the budget.  0 means the process default (EPCQ_WORKERS, else
 	// GOMAXPROCS); see WithWorkers.
 	workers int
+}
+
+// compiledTerm is one unique φ⁻af counting class, ready to execute.
+type compiledTerm struct {
+	formula pp.PP
+	fp      string // canonical fingerprint ("" = labeling budget exceeded)
+	coeff   *big.Int
+	plan    engine.Plan
 }
 
 // WithWorkers sets the counter's worker budget (n ≤ 0 restores the
@@ -79,20 +110,11 @@ func (c *Counter) splitWorkers(n int) (outer, inner int) {
 	return outer, inner
 }
 
-// termEngine maps the configured engine to the engine used for the φ⁻af
-// terms: terms come out of the inclusion–exclusion merge already cored,
-// so the FPT family skips the core step.
-func termEngine(e count.PPEngine) engine.Name {
-	switch e {
-	case count.EngineFPT, count.EngineAuto, count.EngineFPTNoCore:
-		return engine.FPTNoCore
-	default:
-		return e
-	}
-}
-
 // NewCounter compiles the query over the signature.  Passing a nil
-// signature infers it from the query's atoms.
+// signature infers it from the query's atoms.  Each unique φ⁻af counting
+// class gets exactly one engine plan, resolved through the fingerprint-
+// keyed plan cache (counting-equivalent terms of other Counters share
+// it).
 func NewCounter(q logic.Query, sig *structure.Signature, eng count.PPEngine) (*Counter, error) {
 	if sig == nil {
 		var err error
@@ -106,13 +128,23 @@ func NewCounter(q logic.Query, sig *structure.Signature, eng count.PPEngine) (*C
 		return nil, err
 	}
 	counter := &Counter{Compiled: c, Engine: eng}
-	counter.plans = make(map[*structure.Structure]engine.Plan, len(c.Minus))
-	for _, term := range c.Minus {
-		plan, err := engine.Compile(term.Formula, termEngine(eng))
+	counter.terms = make([]compiledTerm, 0, len(c.Minus))
+	counter.termIdx = make(map[*structure.Structure]int, len(c.Minus))
+	for _, t := range c.Minus {
+		plan, hit, err := engine.CompileKeyed(t.Formula, t.FP, count.TermEngine(eng))
 		if err != nil {
 			return nil, err
 		}
-		counter.plans[term.Formula.A] = plan
+		if hit {
+			counter.sharedPlans++
+		}
+		counter.termIdx[t.Formula.A] = len(counter.terms)
+		counter.terms = append(counter.terms, compiledTerm{
+			formula: t.Formula,
+			fp:      t.FP,
+			coeff:   t.Coeff,
+			plan:    plan,
+		})
 	}
 	return counter, nil
 }
@@ -125,31 +157,26 @@ func (c *Counter) Count(b *structure.Structure) (*big.Int, error) {
 	return c.countWith(b, c.workers)
 }
 
-// CountParallel is Count with the φ⁻af terms evaluated concurrently on a
-// bounded worker pool.  The counter's worker budget (WithWorkers, else
-// EPCQ_WORKERS, else GOMAXPROCS) is split between the term fan-out and
-// the executor inside each term.  Structures are safe for concurrent
-// read-only use, the shared engine.Session is concurrency-safe, and the
-// signed sum is order-independent, so the result is identical to Count.
-// Worth it when φ⁻af has several expensive terms.
+// CountParallel is Count with the unique φ⁻af terms evaluated
+// concurrently on a bounded worker pool.  The counter's worker budget
+// (WithWorkers, else EPCQ_WORKERS, else GOMAXPROCS) is split between the
+// term fan-out and the executor inside each term.  Structures are safe
+// for concurrent read-only use, the shared engine.Session is
+// concurrency-safe, and the signed sum is order-independent, so the
+// result is identical to Count.  Worth it when φ⁻af has several
+// expensive terms.
 func (c *Counter) CountParallel(b *structure.Structure) (*big.Int, error) {
-	if !c.Compiled.Sig.Equal(b.Signature()) {
-		return nil, fmt.Errorf("core: query signature %v differs from structure signature %v",
-			c.Compiled.Sig, b.Signature())
-	}
-	if err := b.Validate(); err != nil {
+	sess, err := c.sessionFor(b)
+	if err != nil {
 		return nil, err
 	}
-	sess := engine.SessionFor(b)
-	for _, th := range c.Compiled.Sentences {
-		if sess.SentenceHolds(th.A) {
-			return c.Compiled.MaxCount(b), nil
-		}
+	if c.sentenceHolds(sess) {
+		return c.Compiled.MaxCount(b), nil
 	}
-	outer, inner := c.splitWorkers(len(c.Compiled.Minus))
-	results := make([]*big.Int, len(c.Compiled.Minus))
-	err := engine.RunBounded(len(c.Compiled.Minus), outer, func(i int) error {
-		v, err := c.termCount(c.Compiled.Minus[i].Formula, sess, inner)
+	outer, inner := c.splitWorkers(len(c.terms))
+	results := make([]*big.Int, len(c.terms))
+	err = engine.RunBounded(len(c.terms), outer, func(i int) error {
+		v, err := c.termCountAt(i, sess, inner)
 		results[i] = v
 		return err
 	})
@@ -157,10 +184,34 @@ func (c *Counter) CountParallel(b *structure.Structure) (*big.Int, error) {
 		return nil, err
 	}
 	total := new(big.Int)
-	for i, term := range c.Compiled.Minus {
-		total.Add(total, new(big.Int).Mul(term.Coeff, results[i]))
+	for i := range c.terms {
+		total.Add(total, new(big.Int).Mul(c.terms[i].coeff, results[i]))
 	}
 	return total, nil
+}
+
+// sessionFor validates b against the compiled signature and returns its
+// shared engine session.
+func (c *Counter) sessionFor(b *structure.Structure) (*engine.Session, error) {
+	if !c.Compiled.Sig.Equal(b.Signature()) {
+		return nil, fmt.Errorf("core: query signature %v differs from structure signature %v",
+			c.Compiled.Sig, b.Signature())
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return engine.SessionFor(b), nil
+}
+
+// sentenceHolds reports whether some sentence disjunct holds on the
+// session's structure (cached per session).
+func (c *Counter) sentenceHolds(sess *engine.Session) bool {
+	for _, th := range c.Compiled.Sentences {
+		if sess.SentenceHolds(th.A) {
+			return true
+		}
+	}
+	return false
 }
 
 // CountBatch counts the query on every structure of the batch, spreading
@@ -183,34 +234,53 @@ func (c *Counter) CountBatch(bs []*structure.Structure) ([]*big.Int, error) {
 	return out, nil
 }
 
-// countWith is Count with an explicit executor worker budget per term.
+// countWith is Count with an explicit executor worker budget per term:
+// the paper's forward pipeline — sentence short-circuit, then the signed
+// sum over the unique φ⁻af counting classes — executed through the
+// session's per-fingerprint count memo.
 func (c *Counter) countWith(b *structure.Structure, workers int) (*big.Int, error) {
-	if !c.Compiled.Sig.Equal(b.Signature()) {
-		return nil, fmt.Errorf("core: query signature %v differs from structure signature %v",
-			c.Compiled.Sig, b.Signature())
-	}
-	return eptrans.CountEPViaPP(c.Compiled, b, c.ppCounterWith(workers))
-}
-
-// termCount evaluates one φ⁻af term inside a session, through its
-// precompiled plan, with the given executor worker budget.
-func (c *Counter) termCount(p pp.PP, sess *engine.Session, workers int) (*big.Int, error) {
-	if plan, ok := c.plans[p.A]; ok {
-		return engine.CountInWorkers(plan, sess, workers)
-	}
-	pl, err := engine.Compile(p, termEngine(c.Engine))
+	sess, err := c.sessionFor(b)
 	if err != nil {
 		return nil, err
 	}
-	return engine.CountInWorkers(pl, sess, workers)
+	if c.sentenceHolds(sess) {
+		return c.Compiled.MaxCount(b), nil
+	}
+	total := new(big.Int)
+	for i := range c.terms {
+		v, err := c.termCountAt(i, sess, workers)
+		if err != nil {
+			return nil, err
+		}
+		total.Add(total, new(big.Int).Mul(c.terms[i].coeff, v))
+	}
+	return total, nil
+}
+
+// termCountAt evaluates the i-th unique term inside a session with the
+// given executor worker budget, through the shared fingerprint-memoized
+// execution helper (engine.CountKeyed); the memo hit/miss telemetry
+// feeds Stats.  The memoized value is shared and must be treated as
+// read-only (every caller multiplies it into a fresh big.Int).
+func (c *Counter) termCountAt(i int, sess *engine.Session, workers int) (*big.Int, error) {
+	t := &c.terms[i]
+	v, hit, err := engine.CountKeyed(t.plan, t.fp, sess, workers)
+	if t.fp != "" {
+		if hit {
+			c.countHits.Add(1)
+		} else {
+			c.countMisses.Add(1)
+		}
+	}
+	return v, err
 }
 
 func (c *Counter) ppCounter() eptrans.PPCounter { return c.ppCounterWith(c.workers) }
 
 func (c *Counter) ppCounterWith(workers int) eptrans.PPCounter {
 	return func(p pp.PP, b *structure.Structure) (*big.Int, error) {
-		if plan, ok := c.plans[p.A]; ok {
-			return engine.CountInWorkers(plan, engine.SessionFor(b), workers)
+		if i, ok := c.termIdx[p.A]; ok {
+			return c.termCountAt(i, engine.SessionFor(b), workers)
 		}
 		return count.PP(p, b, c.Engine)
 	}
@@ -261,10 +331,64 @@ func (c *Counter) Classify(wCore, wContract int) (classify.Verdict, error) {
 	return classify.ClassifyPPSet(c.Compiled.Plus, wCore, wContract)
 }
 
-// Explain renders a human-readable account of the compiled pipeline:
-// the normalized disjuncts, φ*af with coefficients, φ⁻af and φ⁺, and the
-// per-formula structural parameters.
+// Stats is a snapshot of the counter's term-interning and caching
+// telemetry.
+type Stats struct {
+	// Pool is the canonical term pool's interning counters: raw
+	// inclusion–exclusion terms (2^s − 1 over the free disjuncts), raw
+	// terms absorbed pre-core, unique counting classes, classes whose
+	// coefficients cancelled to zero (no plan built), and terms
+	// classified by the pairwise-equivalence fallback.
+	Pool term.Stats
+	// Plans is the number of engine plans backing this counter: one per
+	// unique φ⁻af term surviving the sentence-entailment filter.
+	Plans int
+	// SharedPlans is how many of those plans were already compiled (by
+	// another Counter of the same counting class) and came out of the
+	// fingerprint-keyed plan cache.
+	SharedPlans int
+	// CountCacheHits/CountCacheMisses are the session count-memo
+	// outcomes across every Count/CountParallel/CountBatch call so far.
+	CountCacheHits   uint64
+	CountCacheMisses uint64
+}
+
+// String renders the three-line telemetry block shared by Explain and
+// epcount -stats.
+func (st Stats) String() string {
+	return fmt.Sprintf("term pool: %s\nplans: %d (one per unique surviving term; %d shared via fingerprint cache)\ncount cache: %d hits, %d misses\n",
+		st.Pool, st.Plans, st.SharedPlans, st.CountCacheHits, st.CountCacheMisses)
+}
+
+// Stats returns the counter's interning and cache telemetry.
+func (c *Counter) Stats() Stats {
+	st := Stats{
+		Plans:            len(c.terms),
+		SharedPlans:      c.sharedPlans,
+		CountCacheHits:   c.countHits.Load(),
+		CountCacheMisses: c.countMisses.Load(),
+	}
+	if c.Compiled != nil && c.Compiled.Pool != nil {
+		st.Pool = c.Compiled.Pool.Stats()
+	}
+	return st
+}
+
+// Explain renders a human-readable account of the compiled pipeline: the
+// normalized disjuncts, φ*af with coefficients, φ⁻af and φ⁺, the
+// per-formula structural parameters, and the term-pool / cache
+// statistics.  The static report (which includes a classification pass)
+// is built once per Counter and memoized; only the statistics block is
+// refreshed per call.
 func (c *Counter) Explain() string {
+	c.explainOnce.Do(func() { c.explainStatic = c.buildExplain() })
+	return c.explainStatic + c.explainStats()
+}
+
+// explainStats renders the dynamic interning/caching statistics block.
+func (c *Counter) explainStats() string { return c.Stats().String() }
+
+func (c *Counter) buildExplain() string {
 	var b strings.Builder
 	cp := c.Compiled
 	fmt.Fprintf(&b, "query: %s\n", cp.Query)

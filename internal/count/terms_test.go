@@ -1,0 +1,124 @@
+package count
+
+import (
+	"math/big"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ie"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/pp"
+	"repro/internal/structure"
+	"repro/internal/term"
+	"repro/internal/workload"
+)
+
+func disjunctsOf(t *testing.T, sig *structure.Signature, src string) ([]pp.PP, logic.Query) {
+	t.Helper()
+	q := parser.MustQuery(src)
+	var out []pp.PP
+	for _, d := range q.Disjuncts() {
+		p, err := pp.FromDisjunct(sig, q.Lib, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, p)
+	}
+	return out, q
+}
+
+// EPUnionTerms (the pooled inclusion–exclusion union counter) must agree
+// with EPUnion (direct answer enumeration) and EPDirect on randomized
+// union queries with overlapping disjuncts, including sentence
+// disjuncts.
+func TestEPUnionTermsMatchesEPUnion(t *testing.T) {
+	templates := []string{
+		"E(x,y)",
+		"E(y,x)",
+		"exists u. E(x,u) & E(u,y)",
+		"exists u. E(y,u) & E(u,x)",
+		"E(x,y) & E(y,x)",
+		"exists u, v. E(u,v) & E(v,u)", // sentence
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		k := 2 + rng.Intn(4)
+		var parts []string
+		for i := 0; i < k; i++ {
+			parts = append(parts, templates[rng.Intn(len(templates))])
+		}
+		src := "q(x,y) := " + strings.Join(parts, " | ")
+		ds, q := disjunctsOf(t, edgeSig(), src)
+		for seed := int64(0); seed < 4; seed++ {
+			b := workload.RandomStructure(edgeSig(), 4, 0.35, int64(trial)*11+seed)
+			want, err := EPUnion(ds, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool := term.NewPool()
+			got, err := EPUnionTerms(ds, b, EngineFPT, pool)
+			if err != nil {
+				t.Fatalf("%s: %v", src, err)
+			}
+			if got.Cmp(want) != 0 {
+				t.Fatalf("%s seed %d: pooled %v != union %v (pool %+v)", src, seed, got, want, pool.Stats())
+			}
+			direct, err := EPDirect(q, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Cmp(direct) != 0 {
+				t.Fatalf("%s seed %d: pooled %v != direct %v", src, seed, got, direct)
+			}
+		}
+	}
+}
+
+// Overlapping disjuncts must visibly dedupe in the pool, and a reused
+// pool must be rejected.
+func TestEPUnionTermsPoolStats(t *testing.T) {
+	ds, _ := disjunctsOf(t, edgeSig(), `q(x,y) := E(x,y) | E(y,x) | exists u. E(x,u) & E(u,y)`)
+	b := workload.RandomStructure(edgeSig(), 4, 0.4, 3)
+	pool := term.NewPool()
+	if _, err := EPUnionTerms(ds, b, EngineFPT, pool); err != nil {
+		t.Fatal(err)
+	}
+	st := pool.Stats()
+	if st.Raw != 7 {
+		t.Fatalf("Raw = %d, want 2^3-1 = 7", st.Raw)
+	}
+	if st.Unique >= st.Raw {
+		t.Fatalf("no dedup: %d unique from %d raw", st.Unique, st.Raw)
+	}
+	if _, err := EPUnionTerms(ds, b, EngineFPT, pool); err == nil {
+		t.Fatal("reused pool must be rejected")
+	}
+}
+
+// CountTerms and the per-term oracle evaluation (ie.Count) are the same
+// signed sum; they must agree term for term.
+func TestCountTermsMatchesIECount(t *testing.T) {
+	ds, _ := disjunctsOf(t, edgeSig(), `q(x,y) := E(x,y) | exists u. E(x,u) & E(u,y) | E(y,x)`)
+	star, err := ie.PhiStar(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		b := workload.RandomStructure(edgeSig(), 5, 0.3, seed)
+		want, err := ie.Count(star, b, func(p pp.PP, s *structure.Structure) (*big.Int, error) {
+			return PP(p, s, EngineProjection)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CountTerms(star, b, EngineFPT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(want) != 0 {
+			t.Fatalf("seed %d: CountTerms %v != ie.Count %v", seed, got, want)
+		}
+	}
+}

@@ -5,7 +5,10 @@
 //   - the Plan IR layer: compiling a pp-formula once into an executable
 //     Plan — every engine (brute, projection, FPT with or without core,
 //     auto) is a Plan behind the same interface, so callers never
-//     switch-dispatch on engine names;
+//     switch-dispatch on engine names.  Plans are memoized per formula
+//     identity (Compile) and per canonical counting-class fingerprint
+//     (CompileKeyed): counting-equivalent terms — across inclusion–
+//     exclusion expansions, Counters, and batches — share one plan;
 //   - the Executor layer (exec.go, prune.go): a semi-join pre-pruning
 //     pass that reduces each constraint table against the value supports
 //     of the other constraints on its variables, then the join-count
@@ -26,7 +29,9 @@
 //     SetDefaultWorkers, or per-call overrides (CountInWorkers);
 //   - the Session layer (session.go): per-structure state — fingerprint,
 //     constraint tables materialized straight off the columnar relation
-//     stores, bound execution plans, cached sentence checks — shared
+//     stores, bound execution plans, cached sentence checks, and a count
+//     memo keyed on canonical term fingerprints (each unique counting
+//     class executes at most once per structure-version) — shared
 //     across φ⁻af terms, repeated counts, and batched counting, with
 //     LRU eviction of the session registry under cap pressure.
 package engine
@@ -125,6 +130,24 @@ func CountInWorkers(pl Plan, s *Session, workers int) (*big.Int, error) {
 	return pl.CountIn(s)
 }
 
+// CountKeyed executes the plan inside the session with the executor
+// budget capped at workers (≤ 0 = process default), memoizing the
+// result under the canonical counting-class fingerprint when one is
+// present (fp != ""): each unique class executes at most once per
+// (session, structure-version), no matter how many terms, repeated
+// counts, Counters, or batch workers ask.  The bool reports a memo hit
+// (always false for fp == "").  The returned value is shared — callers
+// must treat it as read-only.
+func CountKeyed(pl Plan, fp string, s *Session, workers int) (*big.Int, bool, error) {
+	if fp == "" {
+		v, err := CountInWorkers(pl, s, workers)
+		return v, false, err
+	}
+	return s.CountMemo(fp, pl.Engine(), func() (*big.Int, error) {
+		return CountInWorkers(pl, s, workers)
+	})
+}
+
 // Compile builds a plan for the formula under the named engine.  Results
 // are memoized per (formula structure identity, structure version, liberal
 // set, engine), so hot one-shot paths that re-count the same compiled
@@ -152,6 +175,51 @@ func Compile(p pp.PP, name Name) (Plan, error) {
 	}
 	return compile(p, name)
 }
+
+// CompileKeyed is Compile with an optional canonical counting-class
+// fingerprint (term.Fingerprint, threaded through ie.Term.FP): plans are
+// additionally cached per (fingerprint, engine), so pointer-distinct but
+// counting-equivalent formulas — across inclusion–exclusion terms,
+// Counters, and batches — share one compiled plan.  This is sound by
+// Theorem 5.4: counting-equivalent formulas have identical counts on
+// every structure, so a plan compiled from any representative of the
+// class counts for all of them.  The returned bool reports whether the
+// plan came out of the fingerprint cache.  An empty fp degrades to
+// Compile.
+func CompileKeyed(p pp.PP, fp string, name Name) (Plan, bool, error) {
+	if fp == "" {
+		pl, err := Compile(p, name)
+		return pl, false, err
+	}
+	key := fpPlanKey{fp: fp, name: name}
+	planCacheMu.Lock()
+	cached := fpPlanCache[key]
+	planCacheMu.Unlock()
+	if cached != nil {
+		return cached, true, nil
+	}
+	pl, err := Compile(p, name) // also feeds the pointer-keyed memo
+	if err != nil {
+		return nil, false, err
+	}
+	planCacheMu.Lock()
+	if len(fpPlanCache) >= planCacheCap {
+		fpPlanCache = make(map[fpPlanKey]Plan, planCacheCap)
+	}
+	fpPlanCache[key] = pl
+	planCacheMu.Unlock()
+	return pl, false, nil
+}
+
+// fpPlanKey identifies a compiled counting class: canonical fingerprints
+// embed the full relational schema and the liberal-set coloring, so equal
+// keys imply interchangeable plans.
+type fpPlanKey struct {
+	fp   string
+	name Name
+}
+
+var fpPlanCache = make(map[fpPlanKey]Plan, planCacheCap)
 
 func compile(p pp.PP, name Name) (Plan, error) {
 	switch name {

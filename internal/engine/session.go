@@ -2,6 +2,7 @@ package engine
 
 import (
 	"hash/fnv"
+	"math/big"
 	"strconv"
 	"sync"
 
@@ -33,6 +34,24 @@ type Session struct {
 	tables    map[tableKey]*tableEntry
 	sentences map[*structure.Structure]bool
 	pruned    map[*planComponent]*pruneEntry
+	counts    map[countKey]*countEntry
+}
+
+// countKey identifies a memoized term count: the canonical counting-
+// class fingerprint plus the engine it was evaluated with.  Counts are
+// engine-independent in value, but keeping the engine in the key lets
+// differential tests exercise engines side by side without cross-talk.
+type countKey struct {
+	fp   string
+	name Name
+}
+
+// countEntry guards one memoized count: duplicate requests wait on the
+// entry's Once while distinct fingerprints compute concurrently.
+type countEntry struct {
+	once sync.Once
+	v    *big.Int
+	err  error
 }
 
 // pruneEntry guards one component's bound execution plan: semi-join
@@ -62,7 +81,33 @@ func NewSession(b *structure.Structure) *Session {
 		tables:    make(map[tableKey]*tableEntry),
 		sentences: make(map[*structure.Structure]bool),
 		pruned:    make(map[*planComponent]*pruneEntry),
+		counts:    make(map[countKey]*countEntry),
 	}
+}
+
+// CountMemo returns the session-cached count of the canonical counting
+// class fp under engine name, computing it with f on first use.  One
+// session counts each unique term at most once, no matter how many
+// inclusion–exclusion terms, repeated counts, Counters, or batch workers
+// ask for it — the per-(session, structure-version) count cache of the
+// interned pipeline.  The returned value is shared: callers must treat
+// it as read-only.  The bool reports a cache hit (the value may still be
+// computed by a concurrent first caller; the Once serializes that).
+func (s *Session) CountMemo(fp string, name Name, f func() (*big.Int, error)) (*big.Int, bool, error) {
+	key := countKey{fp: fp, name: name}
+	s.mu.Lock()
+	e := s.counts[key]
+	hit := e != nil
+	if e == nil {
+		if len(s.counts) >= sessionMemoCap {
+			s.counts = make(map[countKey]*countEntry)
+		}
+		e = &countEntry{}
+		s.counts[key] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.v, e.err = f() })
+	return e.v, hit, e.err
 }
 
 // Fingerprint returns the FNV-1a hash of the structure's universe and

@@ -14,6 +14,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/pp"
 	"repro/internal/structure"
+	"repro/internal/term"
 )
 
 // Compiled is the fully-processed form of an ep-query: its normalized
@@ -31,6 +32,12 @@ type Compiled struct {
 	// the sentence disjuncts, in Disjuncts order.
 	Free      []pp.PP
 	Sentences []pp.PP
+	// Pool is the canonical term pool the inclusion–exclusion expansion
+	// was interned through: every raw term classified by canonical core
+	// fingerprint with merged coefficients.  Downstream layers read its
+	// statistics (raw vs unique term counts) and the per-class
+	// fingerprints carried on Star/Minus.
+	Pool *term.Pool
 	// Star is φ*af: the cancelled inclusion–exclusion terms over Free
 	// (Proposition 5.16).
 	Star []ie.Term
@@ -70,7 +77,8 @@ func Compile(q logic.Query, sig *structure.Signature) (*Compiled, error) {
 			c.Free = append(c.Free, p)
 		}
 	}
-	c.Star, err = ie.PhiStar(c.Free)
+	c.Pool = term.NewPool()
+	c.Star, err = ie.PhiStarInto(c.Pool, c.Free)
 	if err != nil {
 		return nil, err
 	}
@@ -90,6 +98,7 @@ func Compile(q logic.Query, sig *structure.Signature) (*Compiled, error) {
 			c.Minus = append(c.Minus, ie.Term{
 				Formula: t.Formula,
 				Coeff:   new(big.Int).Set(t.Coeff),
+				FP:      t.FP,
 				Subset:  append([]int(nil), t.Subset...),
 			})
 		}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/pp"
 	"repro/internal/structure"
+	"repro/internal/term"
 	"repro/internal/tw"
 	"repro/internal/workload"
 )
@@ -134,10 +135,12 @@ func RunE2(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	merged, err := ie.Merge(raw)
+	pool := term.NewPool()
+	merged, err := ie.MergeInto(pool, raw)
 	if err != nil {
 		return nil, err
 	}
+	ps := pool.Stats()
 	maxTW := func(terms []ie.Term) int {
 		m := -1
 		for _, term := range terms {
@@ -181,8 +184,10 @@ func RunE2(cfg Config) (*Table, error) {
 		})
 	}
 	t.OK = t.OK && len(raw) == 7 && len(merged) == 2 && rawTW == 2 && mergedTW == 1
+	t.OK = t.OK && ps.Raw == 7 && ps.Unique == len(merged)+ps.Cancelled
 	t.Notes = append(t.Notes,
-		"paper: |φ(B)| = 3·|φ1(B)| − 2·|(φ1∧φ3)(B)|; the cancelled terms were the only treewidth-2 ones")
+		"paper: |φ(B)| = 3·|φ1(B)| − 2·|(φ1∧φ3)(B)|; the cancelled terms were the only treewidth-2 ones",
+		fmt.Sprintf("term pool: %s", ps))
 	return t, nil
 }
 

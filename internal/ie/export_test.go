@@ -1,0 +1,5 @@
+package ie
+
+// SetDisableCanonForTest flips the package onto (or off) the pool's
+// pairwise-equivalence fallback path.  Test-only hook.
+func SetDisableCanonForTest(v bool) { disableCanonForTest = v }

@@ -14,12 +14,17 @@ import (
 
 	"repro/internal/pp"
 	"repro/internal/structure"
+	"repro/internal/term"
 )
 
 // Term is a signed pp-formula in an inclusion–exclusion expansion.
 type Term struct {
 	Formula pp.PP
 	Coeff   *big.Int
+	// FP is the canonical counting-class fingerprint of the formula
+	// (term.Fingerprint); empty when canonical labeling exceeded its
+	// budget.  Downstream layers key plan and count caches on it.
+	FP string
 	// Subset records one witnessing subset J of the original disjuncts
 	// (indices) whose conjunction produced the representative formula.
 	Subset []int
@@ -67,73 +72,52 @@ func RawTerms(disjuncts []pp.PP) ([]Term, error) {
 // of Proposition 5.16.  Each class is represented by the core of its
 // first-seen formula (logically equivalent, hence count-preserving).
 //
-// Terms are bucketed by the invariant key of their *core*: counting
-// equivalence is renaming equivalence (Theorem 5.4), and renaming-
-// equivalent formulas have cores isomorphic up to a renaming of the
-// liberal variables (Theorem 2.3 after identifying the liberal sets), so
-// equivalent terms always share a bucket even when their raw universes
-// differ by redundant quantified parts.  This guarantees the output is
-// pairwise non-counting-equivalent — the contract Lemma 5.18's recursive
-// peeling depends on.
+// Merge is MergeInto against a throwaway pool; callers that want the
+// interning statistics (or to share the pool downstream) use MergeInto.
 func Merge(terms []Term) ([]Term, error) {
-	// Fast path: canonical labeling of the core is a complete invariant
-	// for counting equivalence (pp.CanonicalKey), so classes are exact
-	// hash buckets.  If the labeling budget is ever exceeded, fall back
-	// to invariant-key bucketing with pairwise Theorem 5.4 tests.
-	type bucket struct{ idxs []int }
-	canonIdx := make(map[string]int)
-	buckets := make(map[string]*bucket)
-	var merged []Term
+	return MergeInto(newPool(), terms)
+}
+
+// MergeInto interns every term into the pool (which must be fresh) and
+// returns the cancelled expansion: one Term per counting class with a
+// non-zero merged coefficient, in first-seen order, carrying the class's
+// canonical fingerprint.
+//
+// The pool's interning (term.Pool) realizes the classification this
+// package needs: counting equivalence is renaming equivalence
+// (Theorem 5.4), and renaming-equivalent formulas have cores isomorphic
+// up to a renaming of the liberal variables (Theorem 2.3 after
+// identifying the liberal sets), so the canonical fingerprint of the
+// core is a complete class invariant — equivalent terms merge even when
+// their raw universes differ by redundant quantified parts, and the
+// output is pairwise non-counting-equivalent, the contract Lemma 5.18's
+// recursive peeling depends on.  Terms exceeding the canonical-labeling
+// budget are classified by the pool's pairwise Theorem 5.4 fallback.
+func MergeInto(pool *term.Pool, terms []Term) ([]Term, error) {
+	if pool.Stats().Raw != 0 {
+		return nil, fmt.Errorf("ie: MergeInto requires a fresh pool")
+	}
+	subsets := make(map[int][]int)
 	for _, t := range terms {
-		cored, err := t.Formula.Core()
+		idx, err := pool.Add(t.Formula, t.Coeff)
 		if err != nil {
 			return nil, err
 		}
-		if canon, err := cored.CanonicalKey(); err == nil && !disableCanonForTest {
-			if mi, ok := canonIdx[canon]; ok {
-				merged[mi].Coeff = new(big.Int).Add(merged[mi].Coeff, t.Coeff)
-			} else {
-				canonIdx[canon] = len(merged)
-				merged = append(merged, Term{
-					Formula: cored,
-					Coeff:   new(big.Int).Set(t.Coeff),
-					Subset:  append([]int(nil), t.Subset...),
-				})
-			}
-			continue
-		}
-		key := cored.InvariantKey()
-		b := buckets[key]
-		if b == nil {
-			b = &bucket{}
-			buckets[key] = b
-		}
-		matched := false
-		for _, mi := range b.idxs {
-			eq, err := pp.CountingEquivalent(merged[mi].Formula, cored)
-			if err != nil {
-				return nil, err
-			}
-			if eq {
-				merged[mi].Coeff = new(big.Int).Add(merged[mi].Coeff, t.Coeff)
-				matched = true
-				break
-			}
-		}
-		if !matched {
-			b.idxs = append(b.idxs, len(merged))
-			merged = append(merged, Term{
-				Formula: cored,
-				Coeff:   new(big.Int).Set(t.Coeff),
-				Subset:  append([]int(nil), t.Subset...),
-			})
+		if _, seen := subsets[idx]; !seen {
+			subsets[idx] = append([]int(nil), t.Subset...)
 		}
 	}
 	var out []Term
-	for _, t := range merged {
-		if t.Coeff.Sign() != 0 {
-			out = append(out, t)
+	for idx, e := range pool.Terms() {
+		if e.Coeff.Sign() == 0 {
+			continue
 		}
+		out = append(out, Term{
+			Formula: e.Formula,
+			Coeff:   new(big.Int).Set(e.Coeff),
+			FP:      e.FP,
+			Subset:  subsets[idx],
+		})
 	}
 	return out, nil
 }
@@ -141,11 +125,24 @@ func Merge(terms []Term) ([]Term, error) {
 // PhiStar computes φ* for an all-free disjunction: the cancelled
 // inclusion–exclusion expansion of Proposition 5.16.
 func PhiStar(disjuncts []pp.PP) ([]Term, error) {
+	return PhiStarInto(newPool(), disjuncts)
+}
+
+// PhiStarInto is PhiStar interning through the supplied (fresh) pool, so
+// the caller keeps the per-class statistics and fingerprints.
+func PhiStarInto(pool *term.Pool, disjuncts []pp.PP) ([]Term, error) {
 	raw, err := RawTerms(disjuncts)
 	if err != nil {
 		return nil, err
 	}
-	return Merge(raw)
+	return MergeInto(pool, raw)
+}
+
+// newPool returns a pool honoring the package's test hook.
+func newPool() *term.Pool {
+	pool := term.NewPool()
+	pool.DisableCanon = disableCanonForTest
+	return pool
 }
 
 // CountFunc counts a pp-formula on a structure; the caller chooses the
@@ -165,6 +162,7 @@ func Count(terms []Term, b *structure.Structure, cnt CountFunc) (*big.Int, error
 	return total, nil
 }
 
-// disableCanonForTest forces Merge onto the invariant-key + pairwise
-// Theorem 5.4 fallback path, so tests can verify both paths agree.
+// disableCanonForTest forces Merge onto the pool's invariant-key +
+// pairwise Theorem 5.4 fallback path, so tests can verify both paths
+// agree.
 var disableCanonForTest bool

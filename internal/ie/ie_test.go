@@ -1,10 +1,11 @@
-package ie
+package ie_test
 
 import (
 	"math/big"
 	"testing"
 
 	"repro/internal/count"
+	"repro/internal/ie"
 	"repro/internal/logic"
 	"repro/internal/parser"
 	"repro/internal/pp"
@@ -45,7 +46,7 @@ func example42(t *testing.T) []pp.PP {
 
 func TestRawTermsCount(t *testing.T) {
 	ds := example42(t)
-	raw, err := RawTerms(ds)
+	raw, err := ie.RawTerms(ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestRawTermsCount(t *testing.T) {
 // Example 4.2 / 5.15: after cancellation, φ* = {3·φ1, -2·(φ1∧φ3)}.
 func TestExample42Cancellation(t *testing.T) {
 	ds := example42(t)
-	star, err := PhiStar(ds)
+	star, err := ie.PhiStar(ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestExample42Cancellation(t *testing.T) {
 // The cancelled terms must still compute |φ(B)| exactly.
 func TestExample42CountMatchesUnion(t *testing.T) {
 	ds := example42(t)
-	star, err := PhiStar(ds)
+	star, err := ie.PhiStar(ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestExample42CountMatchesUnion(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := Count(star, b, func(p pp.PP, s *structure.Structure) (*big.Int, error) {
+		got, err := ie.Count(star, b, func(p pp.PP, s *structure.Structure) (*big.Int, error) {
 			return count.PP(p, s, count.EngineFPT)
 		})
 		if err != nil {
@@ -141,11 +142,11 @@ func TestExample42CountMatchesUnion(t *testing.T) {
 // Raw (uncancelled) inclusion–exclusion must agree with the cancelled one.
 func TestRawEqualsMerged(t *testing.T) {
 	ds := example42(t)
-	raw, err := RawTerms(ds)
+	raw, err := ie.RawTerms(ds)
 	if err != nil {
 		t.Fatal(err)
 	}
-	star, err := Merge(raw)
+	star, err := ie.Merge(raw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,11 +154,11 @@ func TestRawEqualsMerged(t *testing.T) {
 	cnt := func(p pp.PP, s *structure.Structure) (*big.Int, error) {
 		return count.PP(p, s, count.EngineProjection)
 	}
-	a, err := Count(raw, b, cnt)
+	a, err := ie.Count(raw, b, cnt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := Count(star, b, cnt)
+	c, err := ie.Count(star, b, cnt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestExample41Terms(t *testing.T) {
 		mustDisjunct(t, sig, lib, "p(w,x,y,z) := E(x,y) & E(w,x)"),
 		mustDisjunct(t, sig, lib, "p(w,x,y,z) := E(x,y) & E(y,z) & E(z,z)"),
 	}
-	star, err := PhiStar(ds)
+	star, err := ie.PhiStar(ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,11 +196,11 @@ func TestMaxDisjunctsGuard(t *testing.T) {
 	lib := []logic.Var{"x", "y"}
 	sig := edgeSig()
 	one := mustDisjunct(t, sig, lib, "p(x,y) := E(x,y)")
-	many := make([]pp.PP, MaxDisjuncts+1)
+	many := make([]pp.PP, ie.MaxDisjuncts+1)
 	for i := range many {
 		many[i] = one
 	}
-	if _, err := RawTerms(many); err == nil {
+	if _, err := ie.RawTerms(many); err == nil {
 		t.Fatal("expansion cap not enforced")
 	}
 }
@@ -215,7 +216,7 @@ func TestMergeAcrossUniverseSizes(t *testing.T) {
 	lib := []logic.Var{"x"}
 	psi1 := mustDisjunct(t, sig, lib, "p(x) := exists u. E(x,u)")
 	psi2 := mustDisjunct(t, sig, lib, "p(x) := E(x,x)")
-	star, err := PhiStar([]pp.PP{psi1, psi2})
+	star, err := ie.PhiStar([]pp.PP{psi1, psi2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestMergeAcrossUniverseSizes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := Count(star, b, func(p pp.PP, s *structure.Structure) (*big.Int, error) {
+		got, err := ie.Count(star, b, func(p pp.PP, s *structure.Structure) (*big.Int, error) {
 			return count.PP(p, s, count.EngineFPT)
 		})
 		if err != nil {
@@ -251,11 +252,11 @@ func TestMergeAcrossUniverseSizes(t *testing.T) {
 	}
 }
 
-// The output of Merge must be pairwise non-counting-equivalent — the
+// The output of ie.Merge must be pairwise non-counting-equivalent — the
 // contract the backward reduction's peeling relies on.
 func TestMergeOutputPairwiseInequivalent(t *testing.T) {
 	ds := example42(t)
-	star, err := PhiStar(ds)
+	star, err := ie.PhiStar(ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,14 +267,14 @@ func TestMergeOutputPairwiseInequivalent(t *testing.T) {
 				t.Fatal(err)
 			}
 			if eq {
-				t.Fatalf("terms %d and %d are counting equivalent after Merge", i, j)
+				t.Fatalf("terms %d and %d are counting equivalent after ie.Merge", i, j)
 			}
 		}
 	}
 }
 
 func TestEmptyDisjuncts(t *testing.T) {
-	star, err := PhiStar(nil)
+	star, err := ie.PhiStar(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +282,7 @@ func TestEmptyDisjuncts(t *testing.T) {
 		t.Fatal("empty input should give empty φ*")
 	}
 	b := workload.RandomStructure(edgeSig(), 3, 0.5, 7)
-	got, err := Count(star, b, nil)
+	got, err := ie.Count(star, b, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,20 +292,20 @@ func TestEmptyDisjuncts(t *testing.T) {
 }
 
 // The canonical-key fast path and the pairwise-equivalence fallback of
-// Merge must produce identical expansions.
+// ie.Merge must produce identical expansions.
 func TestMergeFallbackAgreesWithCanonical(t *testing.T) {
 	ds := example42(t)
-	raw, err := RawTerms(ds)
+	raw, err := ie.RawTerms(ds)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast, err := Merge(raw)
+	fast, err := ie.Merge(raw)
 	if err != nil {
 		t.Fatal(err)
 	}
-	disableCanonForTest = true
-	defer func() { disableCanonForTest = false }()
-	slow, err := Merge(raw)
+	ie.SetDisableCanonForTest(true)
+	defer ie.SetDisableCanonForTest(false)
+	slow, err := ie.Merge(raw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +329,7 @@ func TestMergeFallbackAgreesWithCanonical(t *testing.T) {
 	lib := []logic.Var{"x"}
 	psi1 := mustDisjunct(t, sig, lib, "p(x) := exists u. E(x,u)")
 	psi2 := mustDisjunct(t, sig, lib, "p(x) := E(x,x)")
-	star, err := PhiStar([]pp.PP{psi1, psi2})
+	star, err := ie.PhiStar([]pp.PP{psi1, psi2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -37,7 +37,12 @@ func (p PP) CanonicalKey() (string, error) {
 	tuples := make([][][]int, len(rels))
 	occ := make([][]occurrence, n)
 	for ri, r := range rels {
-		tuples[ri] = p.A.Tuples(r.Name)
+		rel := p.A.Rel(r.Name)
+		tuples[ri] = make([][]int, 0, rel.Len())
+		p.A.ForEachTuple(r.Name, func(t []int) bool {
+			tuples[ri] = append(tuples[ri], append([]int(nil), t...))
+			return true
+		})
 		for ti, t := range tuples[ri] {
 			for pos, v := range t {
 				occ[v] = append(occ[v], occurrence{rel: ri, tuple: ti, pos: pos})

@@ -1,0 +1,271 @@
+// Package term implements canonical pp-term interning: the shared
+// front-end of the counting pipeline that collapses the inclusion–
+// exclusion term explosion at compile time.
+//
+// By the counting equivalences of Section 5 (Theorem 5.4, with
+// Theorem 2.3 after identifying the liberal sets), two pp-terms have
+// identical counts on every structure exactly when their cores are
+// isomorphic under a map carrying liberal variables onto liberal
+// variables.  A canonical labeling of the (tiny, parameter-bounded) core
+// therefore yields a complete fingerprint of a term's counting class:
+// terms with equal fingerprints are interchangeable everywhere in the
+// pipeline — they can share one merged inclusion–exclusion coefficient,
+// one compiled engine plan, and one per-structure count.
+//
+// The Pool interns terms in two stages:
+//
+//  1. raw stage — the canonical key of the un-cored formula.  Raw
+//     inclusion–exclusion terms that are outright isomorphic (the same
+//     conjunction up to renaming, e.g. φ_J for symmetric subsets J)
+//     merge here without paying for a core computation at all;
+//  2. cored stage — the canonical key of the core, the complete
+//     counting-class fingerprint.  Terms whose cores coincide merge
+//     their coefficients; entries whose merged coefficient cancels to
+//     zero are dropped before any plan is built.
+//
+// Canonical labeling carries a permutation budget; terms that exceed it
+// fall back to invariant-key bucketing with pairwise Theorem 5.4
+// equivalence tests (and carry an empty fingerprint downstream, which
+// simply opts them out of the fingerprint-keyed caches).
+package term
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/pp"
+)
+
+// Fingerprint returns the canonical counting-class fingerprint of a
+// pp-formula: the canonical key of its core.  Two formulas over the same
+// signature receive equal fingerprints iff they are counting equivalent
+// (property-tested against pp.CountingEquivalent).  Errors indicate the
+// canonical-labeling budget was exceeded; callers should then fall back
+// to pairwise equivalence tests.
+func Fingerprint(p pp.PP) (string, error) {
+	cored, err := p.Core()
+	if err != nil {
+		return "", err
+	}
+	return cored.CanonicalKey()
+}
+
+// Interned is one unique counting class in a Pool: the cored
+// representative of its first-seen term, the canonical fingerprint, and
+// the merged inclusion–exclusion coefficient.
+type Interned struct {
+	// Formula is the core of the first term interned into this entry
+	// (logically equivalent to it, hence count-preserving).
+	Formula pp.PP
+	// FP is the canonical fingerprint of the class; empty when the
+	// canonical-labeling budget was exceeded and the entry was placed by
+	// the pairwise-equivalence fallback.
+	FP string
+	// Coeff is the merged coefficient Σ of the interned terms' coefficients.
+	Coeff *big.Int
+	// Raw is the number of raw terms merged into this entry.
+	Raw int
+
+	rawMerged int // raw terms absorbed at the pre-core stage
+	fallback  int // raw terms placed by the pairwise-equivalence fallback
+}
+
+// Stats summarizes a pool's interning activity.
+type Stats struct {
+	// Raw is the number of terms interned (Add calls).
+	Raw int
+	// RawMerged counts raw terms absorbed at the raw (pre-core) stage:
+	// each saved the cost of a core computation.
+	RawMerged int
+	// Unique is the number of distinct counting classes (entries).
+	Unique int
+	// Cancelled is the number of entries whose merged coefficient is
+	// currently zero — classes dropped before any plan is built.
+	Cancelled int
+	// Fallback counts terms placed via the pairwise-equivalence fallback
+	// because canonical labeling exceeded its budget.
+	Fallback int
+}
+
+// Pool interns pp-terms by canonical core, aggregating inclusion–
+// exclusion coefficients per counting class.  The zero Pool is not
+// usable; call NewPool.  A Pool is not safe for concurrent use (it is a
+// compile-time object; compiled outputs are immutable and shareable).
+type Pool struct {
+	// DisableCanon forces every Add onto the invariant-key + pairwise
+	// Theorem 5.4 fallback path.  Test hook: lets tests verify the two
+	// paths agree.
+	DisableCanon bool
+
+	entries []*Interned
+	byRawFP map[string]int // raw-formula canonical key → entry index
+	byFP    map[string]int // cored canonical key → entry index
+	buckets map[string][]int // cored invariant key → all entry indices
+
+	// Raw-stage gating: canonical labeling of the (larger) un-cored
+	// formula only runs when a second term shares the same cheap
+	// isomorphism-invariant profile — dedup-light expansions never pay
+	// for it.  rawSeen counts terms per profile; rawPending holds the
+	// first-in-profile terms whose raw labeling was deferred.
+	rawSeen    map[string]int
+	rawPending map[string][]rawPendingEntry
+}
+
+type rawPendingEntry struct {
+	f   pp.PP
+	idx int
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	return &Pool{
+		byRawFP:    make(map[string]int),
+		byFP:       make(map[string]int),
+		buckets:    make(map[string][]int),
+		rawSeen:    make(map[string]int),
+		rawPending: make(map[string][]rawPendingEntry),
+	}
+}
+
+// rawProfile is the cheap isomorphism-invariant bucket key gating the
+// raw stage: pp.InvariantKey (universe size, per-relation tuple counts,
+// sorted liberal/quantified degree sequences — all renaming-invariant).
+// Isomorphic raw terms always share a profile; collisions merely
+// trigger a canonical labeling.
+func rawProfile(p pp.PP) string { return p.InvariantKey() }
+
+// Add interns the formula with the given coefficient and returns the
+// index of its counting class among Terms().  The coefficient is read,
+// not retained.
+func (pl *Pool) Add(f pp.PP, coeff *big.Int) (int, error) {
+	// Raw stage: isomorphic raw terms share a class without being cored.
+	// The labeling only runs once a profile twin exists; the first term
+	// of a profile defers (rawPending) and is labeled retroactively.
+	var rawKey, deferProfile string
+	if !pl.DisableCanon {
+		profile := rawProfile(f)
+		if pl.rawSeen[profile] == 0 {
+			deferProfile = profile
+		} else {
+			for _, p := range pl.rawPending[profile] {
+				if k, err := p.f.CanonicalKey(); err == nil {
+					pl.byRawFP[k] = p.idx
+				}
+			}
+			delete(pl.rawPending, profile)
+			if k, err := f.CanonicalKey(); err == nil {
+				rawKey = k
+				if i, ok := pl.byRawFP[rawKey]; ok {
+					pl.rawSeen[profile]++
+					pl.entries[i].rawMerged++
+					pl.merge(i, coeff)
+					return i, nil
+				}
+			}
+		}
+		pl.rawSeen[profile]++
+	}
+	// Cored stage: the complete counting-class fingerprint.
+	cored, err := f.Core()
+	if err != nil {
+		return -1, err
+	}
+	idx := -1
+	var fp string
+	if !pl.DisableCanon {
+		if k, err := cored.CanonicalKey(); err == nil {
+			fp = k
+			if i, ok := pl.byFP[fp]; ok {
+				idx = i
+			}
+		}
+	}
+	if idx < 0 {
+		ikey := cored.InvariantKey()
+		// A fingerprint miss can still coincide with an entry that itself
+		// missed canonical labeling (equivalent formulas need not exceed
+		// the budget together), so fingerprinted terms are compared
+		// against the bucket's fingerprint-less entries; fallback terms
+		// are compared against every entry in the bucket.
+		for _, i := range pl.buckets[ikey] {
+			if fp != "" && pl.entries[i].FP != "" {
+				continue // both fingerprinted: inequality already decided
+			}
+			eq, err := pp.CountingEquivalent(pl.entries[i].Formula, cored)
+			if err != nil {
+				return -1, err
+			}
+			if eq {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			idx = len(pl.entries)
+			pl.entries = append(pl.entries, &Interned{Formula: cored, FP: fp, Coeff: new(big.Int)})
+			pl.buckets[ikey] = append(pl.buckets[ikey], idx)
+			if fp != "" {
+				pl.byFP[fp] = idx
+			}
+		} else if fp != "" && pl.entries[idx].FP == "" {
+			// Learned the class's fingerprint after the fact.
+			pl.entries[idx].FP = fp
+			pl.byFP[fp] = idx
+		}
+		if fp == "" {
+			pl.entries[idx].fallback++
+		}
+	}
+	if rawKey != "" {
+		pl.byRawFP[rawKey] = idx
+	} else if deferProfile != "" {
+		pl.rawPending[deferProfile] = append(pl.rawPending[deferProfile], rawPendingEntry{f: f, idx: idx})
+	}
+	pl.merge(idx, coeff)
+	return idx, nil
+}
+
+func (pl *Pool) merge(i int, coeff *big.Int) {
+	e := pl.entries[i]
+	e.Coeff.Add(e.Coeff, coeff)
+	e.Raw++
+}
+
+// Terms returns every counting class in first-seen order, including
+// classes whose merged coefficient has cancelled to zero.  The returned
+// entries are the pool's own (coefficients keep merging on further Add
+// calls).
+func (pl *Pool) Terms() []*Interned { return pl.entries }
+
+// Live returns the counting classes with non-zero merged coefficient, in
+// first-seen order.
+func (pl *Pool) Live() []*Interned {
+	out := make([]*Interned, 0, len(pl.entries))
+	for _, e := range pl.entries {
+		if e.Coeff.Sign() != 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders the stats in the canonical one-line form shared by the
+// CLIs, Explain, and the experiment tables.
+func (st Stats) String() string {
+	return fmt.Sprintf("%d raw IE terms → %d unique cores (%d cancelled, %d merged pre-core, %d via fallback)",
+		st.Raw, st.Unique, st.Cancelled, st.RawMerged, st.Fallback)
+}
+
+// Stats returns a snapshot of the pool's interning counters.
+func (pl *Pool) Stats() Stats {
+	st := Stats{Unique: len(pl.entries)}
+	for _, e := range pl.entries {
+		st.Raw += e.Raw
+		st.RawMerged += e.rawMerged
+		st.Fallback += e.fallback
+		if e.Coeff.Sign() == 0 {
+			st.Cancelled++
+		}
+	}
+	return st
+}

@@ -19,7 +19,7 @@ cd "$(dirname "$0")/.."
 mkdir -p bench-out
 
 echo "== executor / join-count benchmarks (3 runs) =="
-go test -run XXX -bench 'JoinCount|FPT|CountBatch|CounterParallel' -benchmem -count 3 . | tee bench-out/joincount.txt
+go test -run XXX -bench 'JoinCount|FPT|CountBatch|CounterParallel|UnionDedup' -benchmem -count 3 . | tee bench-out/joincount.txt
 
 echo "== store / hom / materialization benchmarks (3 runs) =="
 go test -run XXX -bench 'Store_|Hom_|Materialize_' -benchmem -count 3 ./internal/structure ./internal/hom ./internal/engine | tee bench-out/store.txt
