@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke fuzz-smoke
+.PHONY: build test race vet doccheck bench bench-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,12 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Documentation bar: every exported symbol of the public epcq package
+# and internal/serve has a doc comment; every internal/* package has a
+# non-trivial package comment.
+doccheck:
+	$(GO) run ./scripts/doccheck
 
 # Full benchmark pass: executor/bag-join micro-benchmarks (3 runs each,
 # raw output under bench-out/) plus the machine-readable experiment

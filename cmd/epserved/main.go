@@ -1,0 +1,113 @@
+// Command epserved serves ep-query counting over HTTP/JSON: a named-
+// structure registry with streaming fact appends, compiled-query
+// caching with cross-client plan sharing, batched counting on bounded
+// worker pools, admission control, per-request deadlines, and a /stats
+// telemetry endpoint.  See internal/serve for the API and
+// examples/service for an end-to-end walkthrough.
+//
+// Usage:
+//
+//	epserved -addr :8080
+//	epserved -addr :8080 -workers 8 -max-inflight 128 -timeout 10s
+//	epserved -load social=social.facts -load web=web.facts
+//
+// Endpoints:
+//
+//	POST /structures              {"name":..., "facts":..., "signature":[{"name":"E","arity":2}]?}
+//	GET  /structures              list registered structures
+//	GET  /structures/{name}       one structure's metadata
+//	POST /structures/{name}/facts {"facts": ...}   append (atomic, invalidates sessions)
+//	POST /count                   {"query":..., "structure":..., "engine"?, "timeout_ms"?}
+//	POST /countBatch              {"query":..., "structures":[...], ...}
+//	GET  /stats                   admission + per-query + session telemetry
+//	GET  /healthz                 liveness
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes and
+// in-flight requests drain (up to -drain).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// loadSpec is one -load argument: a structure to preload at startup.
+type loadSpec struct {
+	name, path string
+}
+
+// parseLoadSpec splits "name=path".
+func parseLoadSpec(s string) (loadSpec, error) {
+	name, path, ok := strings.Cut(s, "=")
+	if !ok || name == "" || path == "" {
+		return loadSpec{}, fmt.Errorf("-load wants name=factfile, got %q", s)
+	}
+	return loadSpec{name: name, path: path}, nil
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "worker budget per compiled query (0 = EPCQ_WORKERS, else GOMAXPROCS)")
+		inflight  = flag.Int("max-inflight", 0, "max concurrently executing counting requests (0 = 64); excess requests get 503")
+		timeout   = flag.Duration("timeout", 0, "per-request counting deadline (0 = 30s); requests may lower it via timeout_ms")
+		queryCap  = flag.Int("query-cache", 0, "compiled-query cache capacity (0 = 256)")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for in-flight requests")
+		loadSpecs []loadSpec
+	)
+	flag.Func("load", "preload a structure at startup as name=factfile (repeatable)", func(s string) error {
+		ls, err := parseLoadSpec(s)
+		if err != nil {
+			return err
+		}
+		loadSpecs = append(loadSpecs, ls)
+		return nil
+	})
+	flag.Parse()
+
+	if err := run(*addr, *workers, *inflight, *timeout, *queryCap, *drain, loadSpecs); err != nil {
+		fmt.Fprintln(os.Stderr, "epserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, inflight int, timeout time.Duration, queryCap int, drain time.Duration, loads []loadSpec) error {
+	srv := serve.New(serve.Config{
+		Addr:           addr,
+		Workers:        workers,
+		MaxInFlight:    inflight,
+		RequestTimeout: timeout,
+		QueryCacheCap:  queryCap,
+	})
+	for _, ls := range loads {
+		facts, err := os.ReadFile(ls.path)
+		if err != nil {
+			return err
+		}
+		info, err := srv.Registry().CreateStructure(ls.name, string(facts), nil)
+		if err != nil {
+			return fmt.Errorf("preload %s: %w", ls.name, err)
+		}
+		fmt.Fprintf(os.Stderr, "epserved: loaded %s (%d elements, %d tuples)\n", info.Name, info.Size, info.Tuples)
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "epserved: listening on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "epserved: shutting down (draining in-flight requests)")
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func TestParseLoadSpec(t *testing.T) {
+	ls, err := parseLoadSpec("social=social.facts")
+	if err != nil || ls.name != "social" || ls.path != "social.facts" {
+		t.Fatalf("parseLoadSpec = %+v, %v", ls, err)
+	}
+	for _, bad := range []string{"", "social", "=x", "social="} {
+		if _, err := parseLoadSpec(bad); err == nil {
+			t.Errorf("parseLoadSpec(%q) should fail", bad)
+		}
+	}
+}
+
+// The binary's server lifecycle: preload, serve, count, drain.
+func TestServerLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	facts := filepath.Join(dir, "g.facts")
+	if err := os.WriteFile(facts, []byte("E(a,b). E(b,c). E(c,a).\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := serve.New(serve.Config{Addr: "127.0.0.1:0"})
+	data, err := os.ReadFile(facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Registry().CreateStructure("g", string(data), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cl := serve.NewClient("http://"+srv.Addr(), nil)
+	ctx := context.Background()
+	v, _, err := cl.Count(ctx, "tri(x,y,z) := E(x,y) & E(y,z) & E(z,x)", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int64() != 3 {
+		t.Fatalf("count = %v, want 3", v)
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		t.Fatal(err)
+	}
+}

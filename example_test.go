@@ -59,6 +59,22 @@ func ExampleCompile() {
 	// Output: 2
 }
 
+// One compiled query counted over a batch of structures on a bounded
+// worker pool; result i corresponds to structure i.
+func ExampleCounter_CountBatch() {
+	q := epcq.MustParseQuery("edges(x,y) := E(x,y)")
+	sig, _ := epcq.InferSignature(q)
+	c, _ := epcq.NewCounter(q, sig, epcq.EngineFPT)
+	batch := []*epcq.Structure{
+		epcq.MustParseStructure("E(a,b).", sig),
+		epcq.MustParseStructure("E(a,b). E(b,c).", sig),
+		epcq.MustParseStructure("E(a,b). E(b,c). E(c,a).", sig),
+	}
+	ns, _ := c.CountBatch(batch)
+	fmt.Println(ns)
+	// Output: [1 2 3]
+}
+
 // A compiled counter answers repeated counting questions; a sentence
 // disjunct that holds short-circuits the count to |B|^|lib|.
 func ExampleNewCounter() {

@@ -1,0 +1,127 @@
+// End-to-end epserved scenario: start the counting service in-process,
+// ingest a social network over HTTP, stream live appends, and
+// batch-count motif queries — the serving-layer counterpart of
+// examples/socialnetwork.
+//
+// The same flow works against a standalone server:
+//
+//	go run ./cmd/epserved -addr :8080        # terminal 1
+//	curl -s localhost:8080/healthz           # terminal 2, then the
+//	                                         # requests below as curl
+//
+// Run with: go run ./examples/service
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/structure"
+	"repro/internal/workload"
+)
+
+// factsOf renders a structure in the fact syntax the ingest endpoint
+// accepts (structure.FactsString errors on non-serializable names; the
+// workload generators only produce plain identifiers).
+func factsOf(b *structure.Structure) string {
+	facts, err := b.FactsString()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return facts
+}
+
+func main() {
+	// 1. Start the service (in-process here; cmd/epserved standalone).
+	srv := serve.New(serve.Config{MaxInFlight: 16, RequestTimeout: 10 * time.Second})
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	fmt.Println("epserved listening on", srv.Addr())
+
+	ctx := context.Background()
+	cl := serve.NewClient("http://"+srv.Addr(), nil)
+
+	// 2. Ingest a synthetic social network (persons follow persons,
+	// like items, join groups).
+	net := workload.SocialNetwork(160, 40, 8, 7)
+	info, err := cl.CreateStructure(ctx, "social", factsOf(net), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ingested %q: %d elements, %d tuples (version %d)\n",
+		info.Name, info.Size, info.Tuples, info.Version)
+
+	// 3. Batch-count motif queries.  Each query compiles once on the
+	// server; counting-equivalent queries from other clients would
+	// share the compiled plans.
+	motifs := []struct{ name, query string }{
+		{"mutual follows", "mutual(x,y) := Follows(x,y) & Follows(y,x)"},
+		{"follow triangles", "tri(x,y,z) := Follows(x,y) & Follows(y,z) & Follows(z,x)"},
+		{"co-liked items", "co(x,y,i) := Likes(x,i) & Likes(y,i)"},
+		{"groupmates who follow", "gm(x,y) := exists g. Member(x,g) & Member(y,g) & Follows(x,y)"},
+		{"influencer reach-2", "r2(x,z) := exists y. Follows(y,x) & Follows(z,y)"},
+	}
+	for _, m := range motifs {
+		v, resp, err := cl.Count(ctx, m.query, "social")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-24s %12s  (%d µs)\n", m.name, v, resp.ElapsedUS)
+	}
+
+	// 4. Stream live appends: new follow edges arrive while the motif
+	// counts keep being served; every count reflects the version it ran
+	// against.
+	fmt.Println("streaming follow edges...")
+	for i := 0; i < 5; i++ {
+		facts := fmt.Sprintf("Follows(p%d,p%d). Follows(p%d,p%d).", i, 40+i, 40+i, i)
+		info, err := cl.AppendFacts(ctx, "social", facts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, resp, err := cl.Count(ctx, "mutual(x,y) := Follows(x,y) & Follows(y,x)", "social")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  version %d: %d tuples, mutual follows = %s (version counted: %d)\n",
+			info.Version, info.Tuples, v, resp.Version)
+	}
+
+	// 5. Batch across shards: ingest two more regional graphs and count
+	// one motif over all three in a single request.
+	for i, seed := range []int64{11, 12} {
+		shard := workload.SocialNetwork(80, 20, 4, seed)
+		if _, err := cl.CreateStructure(ctx, fmt.Sprintf("region%d", i), factsOf(shard), nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	vs, resp, err := cl.CountBatch(ctx, "mutual(x,y) := Follows(x,y) & Follows(y,x)",
+		[]string{"social", "region0", "region1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mutual follows per shard: %v (batch %d µs)\n", vs, resp.ElapsedUS)
+
+	// 6. Telemetry: compiled queries, plan sharing, memo hits,
+	// admission counters, session registry.
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stats: %d queries cached, %d/%d counting slots in use, %d admitted, %d sessions cached\n",
+		len(st.Queries), st.Admission.InFlight, st.Admission.MaxInFlight,
+		st.Admission.Admitted, st.Sessions.Sessions)
+	for _, q := range st.Queries {
+		fmt.Printf("  %-50s plans=%d shared=%d memo=%d/%d\n",
+			q.Query, q.Plans, q.SharedPlans, q.CountCacheHits, q.CountCacheMisses)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/count"
+	"repro/internal/parser"
+	"repro/internal/structure"
+	"repro/internal/workload"
+)
+
+// TestStatsConcurrentWithCounting is the -race regression test for the
+// serving pattern: one goroutine batch-counts, one reads Stats/Explain,
+// one retunes the worker budget — the exact interleaving a /stats
+// endpoint produces against in-flight /count handlers.  Before workers
+// became atomic, WithWorkers racing CountBatch's budget read (and the
+// Stats snapshot) was a data race.
+func TestStatsConcurrentWithCounting(t *testing.T) {
+	q := parser.MustQuery("phi(x,y) := E(x,y) | E(y,x)")
+	b := parser.MustStructure("E(a,b). E(b,c). E(c,a). E(a,c).", nil)
+	c, err := NewCounter(q, b.Signature(), count.EngineFPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []*structure.Structure{b, b, b, b}
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				if _, err := c.CountBatch(batch); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			st := c.Stats()
+			if st.Plans != len(c.terms) {
+				t.Errorf("Stats snapshot lost plans: %d != %d", st.Plans, len(c.terms))
+				return
+			}
+			_ = st.String()
+			_ = c.Explain()
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			c.WithWorkers(1 + i%4)
+		}
+	}()
+	wg.Wait()
+}
+
+// TestCountCtxDeadline: an expired per-request deadline aborts the count
+// with context.DeadlineExceeded, and the counter still answers the next
+// un-cancelled request correctly (the per-session count memo must not be
+// poisoned by the cancelled term).
+func TestCountCtxDeadline(t *testing.T) {
+	q := workload.CliqueQuery(3) // free triangle: a dense three-way join
+	b := workload.RandomStructure(workload.EdgeSig(), 250, 0.5, 17)
+	c, err := NewCounter(q, b.Signature(), count.EngineFPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, err := c.CountCtx(ctx, b); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("CountCtx err = %v, want context.DeadlineExceeded", err)
+	}
+
+	got, err := c.CountCtx(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Count(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(want) != 0 {
+		t.Fatalf("post-cancel count %v != %v", got, want)
+	}
+}
+
+// TestCountBatchCtxCancel: cancelling a batch stops it with the
+// context's error.
+func TestCountBatchCtxCancel(t *testing.T) {
+	q := workload.CliqueQuery(3)
+	b := workload.RandomStructure(workload.EdgeSig(), 200, 0.5, 19)
+	c, err := NewCounter(q, b.Signature(), count.EngineFPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]*structure.Structure, 8)
+	for i := range batch {
+		batch[i] = workload.RandomStructure(workload.EdgeSig(), 200, 0.5, int64(20+i))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, err := c.CountBatchCtx(ctx, batch); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("CountBatchCtx err = %v, want context.DeadlineExceeded", err)
+	}
+	// The same batch completes without a deadline, and agrees with
+	// per-structure counting.
+	vs, err := c.CountBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, bi := range batch {
+		want, err := c.Count(bi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vs[i].Cmp(want) != 0 {
+			t.Fatalf("batch[%d] = %v, want %v", i, vs[i], want)
+		}
+	}
+}

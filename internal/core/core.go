@@ -1,17 +1,7 @@
-// Package core ties the paper's machinery into the production counting
-// pipeline — the primary contribution of Chen & Mengel (PODS 2016) made
-// executable.  A Counter compiles an ep-query once through the
-// Theorem 3.1 front-end (normalization, inclusion–exclusion interned
-// through the canonical term pool of internal/term, sentence-disjunct
-// filtering) and then counts answers on any number of structures via
-// the unique φ⁻af counting classes, each counted with the Theorem 2.11
-// FPT algorithm (or a chosen fallback engine) through the fingerprint-
-// keyed plan cache and the per-session count memo.  It also exposes the
-// trichotomy classification of the compiled query (Theorem 3.2) and the
-// interning/caching telemetry (Stats, Explain).
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"strings"
@@ -62,8 +52,10 @@ type Counter struct {
 	// workers caps the counter's total parallelism — the executor's
 	// intra-plan workers and the CountParallel/CountBatch fan-out pools
 	// share the budget.  0 means the process default (EPCQ_WORKERS, else
-	// GOMAXPROCS); see WithWorkers.
-	workers int
+	// GOMAXPROCS); see WithWorkers.  Atomic so that long-lived serving
+	// processes may retune the budget while counts are in flight (the
+	// race-free snapshot Stats relies on).
+	workers atomic.Int32
 }
 
 // compiledTerm is one unique φ⁻af counting class, ready to execute.
@@ -79,17 +71,22 @@ type compiledTerm struct {
 // counter for chaining.  The budget is shared: CountParallel and
 // CountBatch split it between their fan-out pool and the per-term
 // executors, so total concurrency stays at most n.  Counts are
-// bit-identical for every budget.
+// bit-identical for every budget.  Safe to call concurrently with
+// in-flight counting (in-flight calls keep the budget they started
+// with; subsequent calls see the new one).
 func (c *Counter) WithWorkers(n int) *Counter {
 	if n < 0 {
 		n = 0
 	}
-	c.workers = n
+	c.workers.Store(int32(n))
 	return c
 }
 
+// curWorkers returns the raw configured budget (0 = process default).
+func (c *Counter) curWorkers() int { return int(c.workers.Load()) }
+
 // effWorkers resolves the counter's worker budget.
-func (c *Counter) effWorkers() int { return engine.EffectiveWorkers(c.workers) }
+func (c *Counter) effWorkers() int { return engine.EffectiveWorkers(c.curWorkers()) }
 
 // splitWorkers divides the counter's budget between an outer fan-out of
 // n tasks and the executors inside each: outer gets min(n, budget)
@@ -154,7 +151,18 @@ func NewCounter(q logic.Query, sig *structure.Signature, eng count.PPEngine) (*C
 // sentence disjuncts short-circuit to |B|^|lib|; otherwise the signed sum
 // over φ⁻af is evaluated with the configured pp engine.
 func (c *Counter) Count(b *structure.Structure) (*big.Int, error) {
-	return c.countWith(b, c.workers)
+	return c.countWith(context.Background(), b, c.curWorkers())
+}
+
+// CountCtx is Count under a context: the executor polls ctx while
+// counting and aborts with its error (typically context.Canceled or
+// context.DeadlineExceeded) once it fires.  Cancellation is cooperative
+// — latency is bounded by the executor's poll granularity — and never
+// poisons the per-session count memo: a cancelled term's entry is
+// evicted so later calls recompute.  Serving layers thread per-request
+// deadlines through here.
+func (c *Counter) CountCtx(ctx context.Context, b *structure.Structure) (*big.Int, error) {
+	return c.countWith(ctx, b, c.curWorkers())
 }
 
 // CountParallel is Count with the unique φ⁻af terms evaluated
@@ -166,6 +174,11 @@ func (c *Counter) Count(b *structure.Structure) (*big.Int, error) {
 // result is identical to Count.  Worth it when φ⁻af has several
 // expensive terms.
 func (c *Counter) CountParallel(b *structure.Structure) (*big.Int, error) {
+	return c.CountParallelCtx(context.Background(), b)
+}
+
+// CountParallelCtx is CountParallel under a context (see CountCtx).
+func (c *Counter) CountParallelCtx(ctx context.Context, b *structure.Structure) (*big.Int, error) {
 	sess, err := c.sessionFor(b)
 	if err != nil {
 		return nil, err
@@ -175,8 +188,8 @@ func (c *Counter) CountParallel(b *structure.Structure) (*big.Int, error) {
 	}
 	outer, inner := c.splitWorkers(len(c.terms))
 	results := make([]*big.Int, len(c.terms))
-	err = engine.RunBounded(len(c.terms), outer, func(i int) error {
-		v, err := c.termCountAt(i, sess, inner)
+	err = engine.RunBoundedCtx(ctx, len(c.terms), outer, func(i int) error {
+		v, err := c.termCountAt(ctx, i, sess, inner)
 		results[i] = v
 		return err
 	})
@@ -221,10 +234,17 @@ func (c *Counter) sentenceHolds(sess *engine.Session) bool {
 // executors, small batches give each structure a share of the cores).
 // Result i corresponds to bs[i].
 func (c *Counter) CountBatch(bs []*structure.Structure) ([]*big.Int, error) {
+	return c.CountBatchCtx(context.Background(), bs)
+}
+
+// CountBatchCtx is CountBatch under a context: once ctx fires, no
+// further structures are started and the in-flight executors abort with
+// ctx's error (see CountCtx).
+func (c *Counter) CountBatchCtx(ctx context.Context, bs []*structure.Structure) ([]*big.Int, error) {
 	outer, inner := c.splitWorkers(len(bs))
 	out := make([]*big.Int, len(bs))
-	err := engine.RunBounded(len(bs), outer, func(i int) error {
-		v, err := c.countWith(bs[i], inner)
+	err := engine.RunBoundedCtx(ctx, len(bs), outer, func(i int) error {
+		v, err := c.countWith(ctx, bs[i], inner)
 		out[i] = v
 		return err
 	})
@@ -238,7 +258,7 @@ func (c *Counter) CountBatch(bs []*structure.Structure) ([]*big.Int, error) {
 // the paper's forward pipeline — sentence short-circuit, then the signed
 // sum over the unique φ⁻af counting classes — executed through the
 // session's per-fingerprint count memo.
-func (c *Counter) countWith(b *structure.Structure, workers int) (*big.Int, error) {
+func (c *Counter) countWith(ctx context.Context, b *structure.Structure, workers int) (*big.Int, error) {
 	sess, err := c.sessionFor(b)
 	if err != nil {
 		return nil, err
@@ -248,7 +268,7 @@ func (c *Counter) countWith(b *structure.Structure, workers int) (*big.Int, erro
 	}
 	total := new(big.Int)
 	for i := range c.terms {
-		v, err := c.termCountAt(i, sess, workers)
+		v, err := c.termCountAt(ctx, i, sess, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -259,12 +279,12 @@ func (c *Counter) countWith(b *structure.Structure, workers int) (*big.Int, erro
 
 // termCountAt evaluates the i-th unique term inside a session with the
 // given executor worker budget, through the shared fingerprint-memoized
-// execution helper (engine.CountKeyed); the memo hit/miss telemetry
+// execution helper (engine.CountKeyedCtx); the memo hit/miss telemetry
 // feeds Stats.  The memoized value is shared and must be treated as
 // read-only (every caller multiplies it into a fresh big.Int).
-func (c *Counter) termCountAt(i int, sess *engine.Session, workers int) (*big.Int, error) {
+func (c *Counter) termCountAt(ctx context.Context, i int, sess *engine.Session, workers int) (*big.Int, error) {
 	t := &c.terms[i]
-	v, hit, err := engine.CountKeyed(t.plan, t.fp, sess, workers)
+	v, hit, err := engine.CountKeyedCtx(ctx, t.plan, t.fp, sess, workers)
 	if t.fp != "" {
 		if hit {
 			c.countHits.Add(1)
@@ -275,12 +295,12 @@ func (c *Counter) termCountAt(i int, sess *engine.Session, workers int) (*big.In
 	return v, err
 }
 
-func (c *Counter) ppCounter() eptrans.PPCounter { return c.ppCounterWith(c.workers) }
+func (c *Counter) ppCounter() eptrans.PPCounter { return c.ppCounterWith(c.curWorkers()) }
 
 func (c *Counter) ppCounterWith(workers int) eptrans.PPCounter {
 	return func(p pp.PP, b *structure.Structure) (*big.Int, error) {
 		if i, ok := c.termIdx[p.A]; ok {
-			return c.termCountAt(i, engine.SessionFor(b), workers)
+			return c.termCountAt(context.Background(), i, engine.SessionFor(b), workers)
 		}
 		return count.PP(p, b, c.Engine)
 	}
@@ -351,22 +371,30 @@ type Stats struct {
 	// outcomes across every Count/CountParallel/CountBatch call so far.
 	CountCacheHits   uint64
 	CountCacheMisses uint64
+	// Workers is the counter's effective worker budget at snapshot time
+	// (WithWorkers, else EPCQ_WORKERS, else GOMAXPROCS).
+	Workers int
 }
 
-// String renders the three-line telemetry block shared by Explain and
-// epcount -stats.
+// String renders the telemetry block shared by Explain and epcount
+// -stats.
 func (st Stats) String() string {
-	return fmt.Sprintf("term pool: %s\nplans: %d (one per unique surviving term; %d shared via fingerprint cache)\ncount cache: %d hits, %d misses\n",
-		st.Pool, st.Plans, st.SharedPlans, st.CountCacheHits, st.CountCacheMisses)
+	return fmt.Sprintf("term pool: %s\nplans: %d (one per unique surviving term; %d shared via fingerprint cache)\ncount cache: %d hits, %d misses\nworkers: %d\n",
+		st.Pool, st.Plans, st.SharedPlans, st.CountCacheHits, st.CountCacheMisses, st.Workers)
 }
 
-// Stats returns the counter's interning and cache telemetry.
+// Stats returns a consistent snapshot of the counter's interning and
+// cache telemetry.  Safe to call concurrently with in-flight counting
+// (the serving pattern: a /stats endpoint reading while request
+// handlers count): the mutable counters are atomics, everything else in
+// the snapshot is immutable after NewCounter.
 func (c *Counter) Stats() Stats {
 	st := Stats{
 		Plans:            len(c.terms),
 		SharedPlans:      c.sharedPlans,
 		CountCacheHits:   c.countHits.Load(),
 		CountCacheMisses: c.countMisses.Load(),
+		Workers:          c.effWorkers(),
 	}
 	if c.Compiled != nil && c.Compiled.Pool != nil {
 		st.Pool = c.Compiled.Pool.Stats()

@@ -1,0 +1,19 @@
+// Package core ties the paper's machinery into the production counting
+// pipeline — the primary contribution of Chen & Mengel (PODS 2016) made
+// executable.  A Counter compiles an ep-query once through the
+// Theorem 3.1 front-end (normalization, inclusion–exclusion interned
+// through the canonical term pool of internal/term, sentence-disjunct
+// filtering) and then counts answers on any number of structures via
+// the unique φ⁻af counting classes, each counted with the Theorem 2.11
+// FPT algorithm (or a chosen fallback engine) through the fingerprint-
+// keyed plan cache and the per-session count memo.  It also exposes the
+// trichotomy classification of the compiled query (Theorem 3.2) and the
+// interning/caching telemetry (Stats, Explain).
+//
+// Counters are built for long-lived concurrent use: counting methods
+// have context variants (CountCtx, CountBatchCtx, CountParallelCtx)
+// that thread per-request deadlines into the executor's cancellation
+// polling, the worker budget (WithWorkers) is retunable while counts
+// are in flight, and Stats snapshots race-free against all of it — the
+// contract the HTTP service layer (internal/serve) is built on.
+package core

@@ -1,15 +1,3 @@
-// Package count computes the number of answers |φ(B)| of pp- and
-// ep-formulas on finite structures.  It provides several engines:
-//
-//   - brute force over all liberal assignments (reference semantics);
-//   - projection backtracking: component-factorized enumeration of the
-//     liberal assignments that extend to homomorphisms;
-//   - the FPT engine of Theorem 2.11: core computation, ∃-component
-//     predicate tables, and a join-count dynamic program over a tree
-//     decomposition of the contract graph;
-//   - direct recursive evaluation and union-enumeration for ep-formulas.
-//
-// All counts are big.Int (they reach |B|^|lib φ|).
 package count
 
 import (

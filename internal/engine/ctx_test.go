@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/pp"
+	"repro/internal/workload"
+)
+
+func TestRunBoundedCtxCancelStopsNewWork(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	err := RunBoundedCtx(ctx, 1000, 4, func(i int) error {
+		started.Add(1)
+		if started.Load() == 8 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Workers observe the cancellation before taking their next index;
+	// at most one in-flight task per worker can have started after it.
+	if n := started.Load(); n > 16 {
+		t.Fatalf("%d tasks started after cancellation of a 4-worker pool", n)
+	}
+}
+
+func TestRunBoundedCtxSerialCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	err := RunBoundedCtx(ctx, 100, 1, func(i int) error {
+		ran++
+		if ran == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 3 {
+		t.Fatalf("ran %d tasks after cancellation, want 3", ran)
+	}
+}
+
+func TestRunBoundedCtxCompletesWithoutCancel(t *testing.T) {
+	if err := RunBoundedCtx(context.Background(), 50, 4, func(int) error { return nil }); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// compileTestPlan compiles a canned pp-formula shape for an engine (built
+// from workload helpers to avoid an import cycle with the parser).
+func compileTestPlan(t *testing.T, shape string, name Name) Plan {
+	t.Helper()
+	var (
+		p   pp.PP
+		err error
+	)
+	switch shape {
+	case "triangle":
+		// x,y,z free, pairwise adjacent — a dense joinable core.
+		p, err = pp.New(workload.GraphStructure(workload.CompleteGraph(3)), []int{0, 1, 2})
+	default:
+		p, err = pp.New(workload.GraphStructure(workload.PathGraph(4)), []int{0, 1, 2, 3})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Compile(p, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+// TestCountInCtxPreCancelled: a context that is already done returns its
+// error without executing.
+func TestCountInCtxPreCancelled(t *testing.T) {
+	pl := compileTestPlan(t, "triangle", FPT)
+	b := workload.RandomStructure(workload.EdgeSig(), 30, 0.3, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CountInCtx(ctx, pl, SessionFor(b), 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCountInCtxAbortMidRun: a deadline that fires mid-execution aborts
+// the FPT executor well before the full enumeration would finish, and a
+// subsequent un-cancelled run on the same session still produces the
+// correct count (the abort discards partial state and does not poison
+// any cache).
+func TestCountInCtxAbortMidRun(t *testing.T) {
+	restore := SetParallelThresholds(1, 1)
+	defer restore()
+	pl := compileTestPlan(t, "triangle", FPT)
+	// Dense 250-vertex graph: the triangle join-count is far too much
+	// work for a 1ms deadline on any machine.
+	b := workload.RandomStructure(workload.EdgeSig(), 250, 0.5, 11)
+	s := SessionFor(b)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := CountInCtx(ctx, pl, s, 2)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+
+	want, err := pl.CountIn(SessionFor(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CountInCtx(context.Background(), pl, SessionFor(b), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Cmp(got) != 0 {
+		t.Fatalf("post-abort count %v != %v", got, want)
+	}
+}
+
+// TestCountKeyedCtxMemoNotPoisoned: a cancelled keyed count must not
+// leave its error in the session memo; the next keyed request
+// recomputes and succeeds.
+func TestCountKeyedCtxMemoNotPoisoned(t *testing.T) {
+	pl := compileTestPlan(t, "triangle", FPT)
+	b := workload.RandomStructure(workload.EdgeSig(), 250, 0.5, 13)
+	s := SessionFor(b)
+	const fp = "test-fingerprint"
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, _, err := CountKeyedCtx(ctx, pl, fp, s, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+
+	v, hit, err := CountKeyedCtx(context.Background(), pl, fp, s, 1)
+	if err != nil {
+		t.Fatalf("recompute after cancelled memo entry: %v", err)
+	}
+	if hit {
+		t.Fatalf("cancelled entry should have been evicted, got a memo hit")
+	}
+	want, err := pl.CountIn(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Cmp(want) != 0 {
+		t.Fatalf("recomputed count %v != %v", v, want)
+	}
+}
+
+// TestCountKeyedCtxHealthyWaiterRetries: a caller with a live context
+// that parks on a computation driven by another caller's short deadline
+// must not surface that caller's cancellation — it retries and gets the
+// correct count.
+func TestCountKeyedCtxHealthyWaiterRetries(t *testing.T) {
+	pl := compileTestPlan(t, "triangle", FPT)
+	b := workload.RandomStructure(workload.EdgeSig(), 250, 0.5, 37)
+	s := SessionFor(b)
+	const fp = "waiter-retry-fingerprint"
+
+	shortCtx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		shortErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, shortErr = CountKeyedCtx(shortCtx, pl, fp, s, 1)
+	}()
+	time.Sleep(200 * time.Microsecond) // let the short-deadline caller start computing
+	v, _, err := CountKeyedCtx(context.Background(), pl, fp, s, 1)
+	wg.Wait()
+	if !errors.Is(shortErr, context.DeadlineExceeded) {
+		t.Fatalf("short-deadline caller err = %v, want context.DeadlineExceeded", shortErr)
+	}
+	if err != nil {
+		t.Fatalf("healthy caller err = %v (another caller's deadline leaked)", err)
+	}
+	want, err := pl.CountIn(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Cmp(want) != 0 {
+		t.Fatalf("healthy caller count %v != %v", v, want)
+	}
+}
+
+// Cancellation must also reach the simple engines' enumerations.
+func TestSimpleEnginesCountInCtx(t *testing.T) {
+	b := workload.RandomStructure(workload.EdgeSig(), 26, 0.4, 5)
+	for _, name := range []Name{Brute, Projection} {
+		pl := compileTestPlan(t, "path", name)
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		start := time.Now()
+		_, err := CountInCtx(ctx, pl, SessionFor(b), 1)
+		cancel()
+		if name == Brute {
+			// 26^4 pinned hom checks cannot finish in 1ms; the brute
+			// engine must abort with the deadline error.
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("%v: err = %v, want context.DeadlineExceeded", name, err)
+			}
+			if el := time.Since(start); el > 5*time.Second {
+				t.Fatalf("%v: cancellation took %v", name, el)
+			}
+		} else if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("%v: err = %v", name, err)
+		}
+	}
+}

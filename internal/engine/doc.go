@@ -1,0 +1,45 @@
+// Package engine is the layered execution core of the counting pipeline.
+// It separates three concerns that the paper's algorithms (Theorems 2.11
+// and 3.1) interleave:
+//
+//   - the Plan IR layer: compiling a pp-formula once into an executable
+//     Plan — every engine (brute, projection, FPT with or without core,
+//     auto) is a Plan behind the same interface, so callers never
+//     switch-dispatch on engine names.  Plans are memoized per formula
+//     identity (Compile) and per canonical counting-class fingerprint
+//     (CompileKeyed): counting-equivalent terms — across inclusion–
+//     exclusion expansions, Counters, and batches — share one plan;
+//   - the Executor layer (exec.go, prune.go): a semi-join pre-pruning
+//     pass that reduces each constraint table against the value supports
+//     of the other constraints on its variables, then the join-count
+//     dynamic program itself.  The DP is index-driven and multi-core:
+//     at plan-bind time (once per component and session) each node gets
+//     a constraint bind order (smallest table first, then maximal
+//     bound-prefix overlap) and each non-pivot step gets a hash index of
+//     its table keyed on the packed values of the already-bound part of
+//     its scope, so enumeration is prefix-index probes instead of
+//     backtracking scans; at run time independent subtrees of the
+//     decomposition execute concurrently on a bounded worker pool and
+//     large pivot tables are sharded row-wise into per-worker
+//     accumulators (bit-identical to serial execution, with a serial
+//     fallback below a size threshold).  Bag keys are packed uint64
+//     (with a spill path for wide bags), counts are int64 with overflow
+//     detection before big.Int, and scratch buffers are pooled.  The
+//     worker budget comes from the EPCQ_WORKERS environment variable,
+//     SetDefaultWorkers, or per-call overrides (CountInWorkers);
+//   - the Session layer (session.go): per-structure state — fingerprint,
+//     constraint tables materialized straight off the columnar relation
+//     stores, bound execution plans, cached sentence checks, and a count
+//     memo keyed on canonical term fingerprints (each unique counting
+//     class executes at most once per structure-version) — shared
+//     across φ⁻af terms, repeated counts, and batched counting, with
+//     LRU eviction of the session registry under cap pressure
+//     (SessionStats exposes the registry telemetry).
+//
+// Execution is cancellable: CountInCtx / CountKeyedCtx / RunBoundedCtx
+// thread a context through every engine, and the join-count DP polls it
+// at pivot-row and emission granularity (dpRun.cancelled), so a
+// serving layer's per-request deadline stops CPU consumption within a
+// bounded amount of work.  A cancelled keyed count never poisons the
+// session memo — its entry is evicted and the next request recomputes.
+package engine

@@ -1,42 +1,8 @@
-// Package engine is the layered execution core of the counting pipeline.
-// It separates three concerns that the paper's algorithms (Theorems 2.11
-// and 3.1) interleave:
-//
-//   - the Plan IR layer: compiling a pp-formula once into an executable
-//     Plan — every engine (brute, projection, FPT with or without core,
-//     auto) is a Plan behind the same interface, so callers never
-//     switch-dispatch on engine names.  Plans are memoized per formula
-//     identity (Compile) and per canonical counting-class fingerprint
-//     (CompileKeyed): counting-equivalent terms — across inclusion–
-//     exclusion expansions, Counters, and batches — share one plan;
-//   - the Executor layer (exec.go, prune.go): a semi-join pre-pruning
-//     pass that reduces each constraint table against the value supports
-//     of the other constraints on its variables, then the join-count
-//     dynamic program itself.  The DP is index-driven and multi-core:
-//     at plan-bind time (once per component and session) each node gets
-//     a constraint bind order (smallest table first, then maximal
-//     bound-prefix overlap) and each non-pivot step gets a hash index of
-//     its table keyed on the packed values of the already-bound part of
-//     its scope, so enumeration is prefix-index probes instead of
-//     backtracking scans; at run time independent subtrees of the
-//     decomposition execute concurrently on a bounded worker pool and
-//     large pivot tables are sharded row-wise into per-worker
-//     accumulators (bit-identical to serial execution, with a serial
-//     fallback below a size threshold).  Bag keys are packed uint64
-//     (with a spill path for wide bags), counts are int64 with overflow
-//     detection before big.Int, and scratch buffers are pooled.  The
-//     worker budget comes from the EPCQ_WORKERS environment variable,
-//     SetDefaultWorkers, or per-call overrides (CountInWorkers);
-//   - the Session layer (session.go): per-structure state — fingerprint,
-//     constraint tables materialized straight off the columnar relation
-//     stores, bound execution plans, cached sentence checks, and a count
-//     memo keyed on canonical term fingerprints (each unique counting
-//     class executes at most once per structure-version) — shared
-//     across φ⁻af terms, repeated counts, and batched counting, with
-//     LRU eviction of the session registry under cap pressure.
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/big"
 	"sync"
@@ -130,6 +96,28 @@ func CountInWorkers(pl Plan, s *Session, workers int) (*big.Int, error) {
 	return pl.CountIn(s)
 }
 
+// CountInCtx is CountInWorkers under a context: plans that support
+// cooperative cancellation (all built-in engines do) poll ctx while
+// executing and return its error once it fires, discarding partial
+// work.  A ctx that can never be cancelled adds zero overhead — the
+// executor's polling engages only when ctx.Done() is non-nil.
+// Cancellation is cooperative and approximate: a count that completes
+// just as ctx fires may still be returned.
+func CountInCtx(ctx context.Context, pl Plan, s *Session, workers int) (*big.Int, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return CountInWorkers(pl, s, workers)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cp, ok := pl.(interface {
+		CountInCtx(context.Context, *Session, int) (*big.Int, error)
+	}); ok {
+		return cp.CountInCtx(ctx, s, workers)
+	}
+	return CountInWorkers(pl, s, workers)
+}
+
 // CountKeyed executes the plan inside the session with the executor
 // budget capped at workers (≤ 0 = process default), memoizing the
 // result under the canonical counting-class fingerprint when one is
@@ -139,13 +127,38 @@ func CountInWorkers(pl Plan, s *Session, workers int) (*big.Int, error) {
 // (always false for fp == "").  The returned value is shared — callers
 // must treat it as read-only.
 func CountKeyed(pl Plan, fp string, s *Session, workers int) (*big.Int, bool, error) {
+	return CountKeyedCtx(context.Background(), pl, fp, s, workers)
+}
+
+// CountKeyedCtx is CountKeyed under a context.  A memo entry whose
+// computation ended in a cancellation error is evicted immediately
+// (CountMemo), so one cancelled request never poisons the fingerprint's
+// count for later callers.  A caller that parked on another request's
+// computation and received that request's cancellation error retries
+// while its own context is still alive — a short-deadline client must
+// never surface its timeout to a concurrent client with a healthy
+// deadline.  Each retry lands on a fresh entry (the cancelled one was
+// evicted) computed under a live context, so the loop terminates once
+// this caller either computes the count itself or its own ctx fires.
+func CountKeyedCtx(ctx context.Context, pl Plan, fp string, s *Session, workers int) (*big.Int, bool, error) {
 	if fp == "" {
-		v, err := CountInWorkers(pl, s, workers)
+		v, err := CountInCtx(ctx, pl, s, workers)
 		return v, false, err
 	}
-	return s.CountMemo(fp, pl.Engine(), func() (*big.Int, error) {
-		return CountInWorkers(pl, s, workers)
-	})
+	for {
+		v, hit, err := s.CountMemo(fp, pl.Engine(), func() (*big.Int, error) {
+			return CountInCtx(ctx, pl, s, workers)
+		})
+		if err != nil && isCancellation(err) && (ctx == nil || ctx.Err() == nil) {
+			continue
+		}
+		return v, hit, err
+	}
+}
+
+// isCancellation reports whether err stems from a context firing.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Compile builds a plan for the formula under the named engine.  Results

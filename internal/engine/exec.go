@@ -446,6 +446,7 @@ type execScratch struct {
 	proj   []int
 	vals   []int
 	keyBuf []byte
+	ops    int // cancellation-poll counter (see dpRun.cancelled)
 }
 
 var scratchPool = sync.Pool{New: func() any { return &execScratch{} }}
@@ -487,6 +488,43 @@ type dpRun struct {
 	dom  int
 	maxW int
 	sem  chan struct{}
+
+	// done is the run's cancellation signal (nil when the caller's
+	// context cannot fire; then every check below is a single nil
+	// comparison).  aborted latches once any worker observes done, so
+	// all shards and subtrees bail out at their next check; an aborted
+	// run's partial result is discarded by joinCount.
+	done    <-chan struct{}
+	aborted atomic.Bool
+}
+
+// cancelCheckMask throttles cancellation polls: the done channel is
+// consulted once per (mask+1) checks per scratch, keeping the poll off
+// the executor's per-row fast path.
+const cancelCheckMask = 4096 - 1
+
+// cancelled reports whether the run should stop.  Checked at every
+// pivot-row start and every emitted assignment, so both wide-and-
+// shallow and narrow-and-deep enumerations observe cancellation within
+// a bounded amount of work.
+func (r *dpRun) cancelled(sc *execScratch) bool {
+	if r.done == nil {
+		return false
+	}
+	if r.aborted.Load() {
+		return true
+	}
+	sc.ops++
+	if sc.ops&cancelCheckMask != 0 {
+		return false
+	}
+	select {
+	case <-r.done:
+		r.aborted.Store(true)
+		return true
+	default:
+		return false
+	}
 }
 
 func (r *dpRun) scratch() *execScratch {
@@ -500,24 +538,32 @@ func (r *dpRun) scratch() *execScratch {
 // multiplicities counting extensions of the quantified subtree variables
 // — which are none at the root, so the total is exact).  workers caps the
 // concurrency; the result is bit-identical for every workers value.
-func joinCount(pc *planComponent, ep *execPlan, domSize, workers int) *big.Int {
+//
+// done (nil = never fires) is the cooperative cancellation signal: when
+// it fires mid-run the partial result is discarded and aborted=true is
+// returned; a run that completed before observing the signal returns its
+// (correct, complete) total with aborted=false.
+func joinCount(pc *planComponent, ep *execPlan, domSize, workers int, done <-chan struct{}) (total *big.Int, aborted bool) {
 	maxW := 0
 	for _, bag := range pc.dec.Bags {
 		if len(bag) > maxW {
 			maxW = len(bag)
 		}
 	}
-	r := &dpRun{pc: pc, ep: ep, dom: domSize, maxW: maxW}
+	r := &dpRun{pc: pc, ep: ep, dom: domSize, maxW: maxW, done: done}
 	if workers > 1 && int64(ep.work) >= parallelMinWork.Load() {
 		r.sem = make(chan struct{}, workers-1)
 	}
 	root := r.process(pc.root, nil)
-	total := new(big.Int)
+	if r.aborted.Load() {
+		return nil, true
+	}
+	total = new(big.Int)
 	vals := make([]int, root.codec.width)
 	root.forEach(vals, func(_ []int, w wnum) {
 		w.addInto(total)
 	})
-	return total
+	return total, false
 }
 
 // projSize bounds the number of distinct keys of a projection onto w
@@ -665,6 +711,9 @@ func (r *dpRun) enumerate(en *execNode, groups []*childGroup, out *wmap, outProj
 func (r *dpRun) enumRange(en *execNode, groups []*childGroup, m *wmap, outProj []int, sc *execScratch, lo, hi int) {
 	assign := sc.assign[:en.width]
 	emit := func() {
+		if r.cancelled(sc) {
+			return
+		}
 		weight := wnum{lo: 1}
 		for _, g := range groups {
 			proj := sc.proj[:len(g.sharedBag)]
@@ -691,10 +740,14 @@ func (r *dpRun) enumRange(en *execNode, groups []*childGroup, m *wmap, outProj [
 			return
 		}
 		loK, hiK := 0, r.dom
-		if len(en.steps) == 0 && k == 0 {
+		pivot := len(en.steps) == 0 && k == 0
+		if pivot {
 			loK, hiK = lo, hi
 		}
 		for v := loK; v < hiK; v++ {
+			if pivot && r.cancelled(sc) {
+				return
+			}
 			assign[free[k]] = v
 			fill(k + 1)
 		}
@@ -713,6 +766,9 @@ func (r *dpRun) enumRange(en *execNode, groups []*childGroup, m *wmap, outProj [
 				rlo, rhi = lo, hi
 			}
 			for row := rlo; row < rhi; row++ {
+				if si == 0 && r.cancelled(sc) {
+					return
+				}
 				base := row * t.width
 				for i, j := range st.freeScope {
 					assign[st.freeBag[i]] = int(t.flat[base+j])

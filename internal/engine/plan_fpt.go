@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
@@ -303,6 +304,20 @@ func (pl *fptPlan) CountIn(s *Session) (*big.Int, error) {
 // capped at workers (≤ 0 means the process default: EPCQ_WORKERS, else
 // GOMAXPROCS).  The count is bit-identical for every workers value.
 func (pl *fptPlan) CountInWorkers(s *Session, workers int) (*big.Int, error) {
+	return pl.countIn(nil, s, workers)
+}
+
+// CountInCtx is CountInWorkers under a context: the join-count DP polls
+// ctx at pivot-row and emission granularity and aborts with ctx's error
+// once it fires (partial work discarded).  Sentence checks and table
+// materialization are not interruptible; cancellation latency is
+// bounded by the largest of those steps.
+func (pl *fptPlan) CountInCtx(ctx context.Context, s *Session, workers int) (*big.Int, error) {
+	return pl.countIn(ctx, s, workers)
+}
+
+// countIn is the shared implementation; ctx may be nil (never cancels).
+func (pl *fptPlan) countIn(ctx context.Context, s *Session, workers int) (*big.Int, error) {
 	b := s.B
 	if !pl.sig.Equal(b.Signature()) {
 		return nil, errSignature(pl.p, b)
@@ -310,7 +325,12 @@ func (pl *fptPlan) CountInWorkers(s *Session, workers int) (*big.Int, error) {
 	workers = EffectiveWorkers(workers)
 	total := big.NewInt(1)
 	for _, pc := range pl.comps {
-		f, err := pc.count(s, workers)
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		f, err := pc.count(ctx, s, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -322,7 +342,7 @@ func (pl *fptPlan) CountInWorkers(s *Session, workers int) (*big.Int, error) {
 	return total, nil
 }
 
-func (pc *planComponent) count(s *Session, workers int) (*big.Int, error) {
+func (pc *planComponent) count(ctx context.Context, s *Session, workers int) (*big.Int, error) {
 	if pc.sentence {
 		if s.SentenceHolds(pc.structureOnly) {
 			return big.NewInt(1), nil
@@ -349,9 +369,28 @@ func (pc *planComponent) count(s *Session, workers int) (*big.Int, error) {
 	if empty {
 		return new(big.Int), nil
 	}
-	joined := joinCount(pc, ep, s.B.Size(), workers)
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	joined, aborted := joinCount(pc, ep, s.B.Size(), workers, done)
+	if aborted {
+		return nil, ctxAbortErr(ctx)
+	}
 	result.Mul(result, joined)
 	return result, nil
+}
+
+// ctxAbortErr maps an executor abort back to the context's error,
+// defaulting to context.Canceled in the (unreachable in practice) case
+// where the context reports none.
+func ctxAbortErr(ctx context.Context) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return context.Canceled
 }
 
 func errSignature(p pp.PP, b *structure.Structure) error {

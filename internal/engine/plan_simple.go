@@ -1,12 +1,48 @@
 package engine
 
 import (
+	"context"
 	"math/big"
 
 	"repro/internal/hom"
 	"repro/internal/pp"
 	"repro/internal/structure"
 )
+
+// cancelPoll is the cooperative cancellation check of the simple
+// (brute, projection) engines.  Unlike the executor's throttled
+// per-row polling, it consults the done channel on every call: each
+// unit of work here is a full homomorphism/extendability check — far
+// more expensive than a non-blocking channel poll — so cancellation
+// latency stays one check, not thousands.  The verdict latches; a nil
+// done channel makes every call a single comparison.
+type cancelPoll struct {
+	done <-chan struct{}
+	hit  bool
+}
+
+func newCancelPoll(ctx context.Context) *cancelPoll {
+	if ctx == nil {
+		return &cancelPoll{}
+	}
+	return &cancelPoll{done: ctx.Done()}
+}
+
+func (c *cancelPoll) cancelled() bool {
+	if c.done == nil {
+		return false
+	}
+	if c.hit {
+		return true
+	}
+	select {
+	case <-c.done:
+		c.hit = true
+		return true
+	default:
+		return false
+	}
+}
 
 // brutePlan enumerates every f : S → B and checks extendability — the
 // reference semantics.  Nothing is precompiled; the plan is the formula.
@@ -21,12 +57,26 @@ func (pl *brutePlan) Count(b *structure.Structure) (*big.Int, error) {
 	if err := checkStructure(pl.p, b); err != nil {
 		return nil, err
 	}
-	return pl.count(b), nil
+	return pl.count(b, &cancelPoll{}), nil
 }
 
 func (pl *brutePlan) CountIn(s *Session) (*big.Int, error) { return pl.Count(s.B) }
 
-func (pl *brutePlan) count(b *structure.Structure) *big.Int {
+// CountInCtx polls ctx once per enumerated liberal assignment (before
+// each extendability check) and aborts with ctx's error when it fires.
+func (pl *brutePlan) CountInCtx(ctx context.Context, s *Session, _ int) (*big.Int, error) {
+	if err := checkStructure(pl.p, s.B); err != nil {
+		return nil, err
+	}
+	poll := newCancelPoll(ctx)
+	v := pl.count(s.B, poll)
+	if poll.hit {
+		return nil, ctxAbortErr(ctx)
+	}
+	return v, nil
+}
+
+func (pl *brutePlan) count(b *structure.Structure, poll *cancelPoll) *big.Int {
 	p := pl.p
 	n := b.Size()
 	total := new(big.Int)
@@ -34,7 +84,13 @@ func (pl *brutePlan) count(b *structure.Structure) *big.Int {
 	pin := make(map[int]int, len(p.S))
 	var rec func(i int)
 	rec = func(i int) {
+		if poll.hit {
+			return
+		}
 		if i == len(p.S) {
+			if poll.cancelled() {
+				return
+			}
 			cp := make(map[int]int, len(pin))
 			for k, v := range pin {
 				cp[k] = v
@@ -73,14 +129,31 @@ func (pl *projectionPlan) Count(b *structure.Structure) (*big.Int, error) {
 	if err := checkStructure(pl.p, b); err != nil {
 		return nil, err
 	}
-	return pl.count(b), nil
+	return pl.count(b, &cancelPoll{}), nil
 }
 
 func (pl *projectionPlan) CountIn(s *Session) (*big.Int, error) { return pl.Count(s.B) }
 
-func (pl *projectionPlan) count(b *structure.Structure) *big.Int {
+// CountInCtx polls ctx between components and once per enumerated
+// extendable assignment, aborting with ctx's error when it fires.
+func (pl *projectionPlan) CountInCtx(ctx context.Context, s *Session, _ int) (*big.Int, error) {
+	if err := checkStructure(pl.p, s.B); err != nil {
+		return nil, err
+	}
+	poll := newCancelPoll(ctx)
+	v := pl.count(s.B, poll)
+	if poll.hit {
+		return nil, ctxAbortErr(ctx)
+	}
+	return v, nil
+}
+
+func (pl *projectionPlan) count(b *structure.Structure, poll *cancelPoll) *big.Int {
 	total := big.NewInt(1)
 	for _, comp := range pl.comps {
+		if poll.cancelled() {
+			return total
+		}
 		factor := new(big.Int)
 		if len(comp.S) == 0 {
 			if hom.Exists(comp.A, b, hom.Options{}) {
@@ -93,7 +166,7 @@ func (pl *projectionPlan) count(b *structure.Structure) *big.Int {
 			one := big.NewInt(1)
 			hom.ForEachExtendable(comp.A, b, comp.S, hom.Options{}, func([]int) bool {
 				factor.Add(factor, one)
-				return true
+				return !poll.cancelled()
 			})
 		}
 		if factor.Sign() == 0 {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"os"
 	"runtime"
 	"strconv"
@@ -62,6 +63,14 @@ func EffectiveWorkers(n int) int {
 // finish.  Replaces the goroutine-per-task fan-out previously used for
 // φ⁻af terms.
 func RunBounded(n, workers int, fn func(i int) error) error {
+	return RunBoundedCtx(context.Background(), n, workers, fn)
+}
+
+// RunBoundedCtx is RunBounded under a context: once ctx is done, no
+// further indices are started (in-flight calls finish; fn is expected to
+// observe ctx itself if its unit of work is long) and the context's
+// error is returned unless an fn error happened first.
+func RunBoundedCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -71,6 +80,9 @@ func RunBounded(n, workers int, fn func(i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -78,12 +90,14 @@ func RunBounded(n, workers int, fn func(i int) error) error {
 		return nil
 	}
 	var (
-		next    atomic.Int64
-		failed  atomic.Bool
-		errOnce sync.Once
-		firstEr error
-		wg      sync.WaitGroup
+		next      atomic.Int64
+		failed    atomic.Bool
+		cancelled atomic.Bool
+		errOnce   sync.Once
+		firstEr   error
+		wg        sync.WaitGroup
 	)
+	done := ctx.Done()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -92,6 +106,15 @@ func RunBounded(n, workers int, fn func(i int) error) error {
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() {
 					return
+				}
+				if done != nil {
+					select {
+					case <-done:
+						cancelled.Store(true)
+						failed.Store(true)
+						return
+					default:
+					}
 				}
 				if err := fn(i); err != nil {
 					errOnce.Do(func() { firstEr = err })
@@ -102,5 +125,11 @@ func RunBounded(n, workers int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
-	return firstEr
+	if firstEr != nil {
+		return firstEr
+	}
+	if cancelled.Load() {
+		return ctx.Err()
+	}
+	return nil
 }

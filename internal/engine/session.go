@@ -1,10 +1,13 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"hash/fnv"
 	"math/big"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/hom"
 	"repro/internal/structure"
@@ -107,6 +110,18 @@ func (s *Session) CountMemo(fp string, name Name, f func() (*big.Int, error)) (*
 	}
 	s.mu.Unlock()
 	e.once.Do(func() { e.v, e.err = f() })
+	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+		// A cancelled computation must not poison the memo: evict the
+		// entry (if it is still ours) so the next request recomputes.
+		// Waiters parked on this entry's Once observe the cancellation
+		// error too; CountKeyedCtx retries them against a fresh entry
+		// when their own context is still alive.
+		s.mu.Lock()
+		if s.counts[key] == e {
+			delete(s.counts, key)
+		}
+		s.mu.Unlock()
+	}
 	return e.v, hit, e.err
 }
 
@@ -308,6 +323,10 @@ var (
 	sessions     = make(map[*structure.Structure]*sessionEntry, sessionCacheCap)
 )
 
+// sessionEvictions counts sessions dropped by LRU cap pressure since
+// process start (telemetry; see SessionStats).
+var sessionEvictions atomic.Uint64
+
 // evictSessionsLocked drops the least-recently-used entries until at
 // least sessionCacheCap/8 slots are free.  Caller holds sessionMu.
 func evictSessionsLocked() {
@@ -324,7 +343,29 @@ func evictSessionsLocked() {
 			}
 		}
 		delete(sessions, oldest)
+		sessionEvictions.Add(1)
 	}
+}
+
+// SessionCacheStats is a snapshot of the process-wide session registry:
+// how many structures currently hold a cached session (materialized
+// constraint tables, bound exec plans, count memos), the registry's
+// capacity, and how many sessions LRU pressure has evicted since
+// process start.  Long-running services surface it next to
+// core.Counter.Stats.
+type SessionCacheStats struct {
+	Sessions  int    `json:"sessions"`
+	Cap       int    `json:"cap"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// SessionStats returns a consistent snapshot of the session registry's
+// telemetry.  Safe for concurrent use.
+func SessionStats() SessionCacheStats {
+	sessionMu.Lock()
+	n := len(sessions)
+	sessionMu.Unlock()
+	return SessionCacheStats{Sessions: n, Cap: sessionCacheCap, Evictions: sessionEvictions.Load()}
 }
 
 // SessionFor returns the cached session of b, creating (or replacing a

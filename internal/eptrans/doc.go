@@ -1,0 +1,7 @@
+// Package eptrans implements the equivalence theorem (Theorem 3.1): the
+// effective translation of an ep-formula φ into the finite set φ⁺ of
+// prenex pp-formulas, and the two counting slice reductions between
+// count[Φ] and count[Φ⁺] (Section 5.3, Section 5.4, Appendix A).  The
+// distinguishing-structure lemmas (5.12/5.13) and the recursive class
+// peeling of Lemma 5.18 are implemented constructively.
+package eptrans

@@ -1,0 +1,12 @@
+// Package experiments implements the reproduction experiment suite
+// E1–E10 and the ablations A1–A5 documented in DESIGN.md §4, plus the
+// system-level S-series (S1: epserved service throughput under
+// concurrent HTTP clients).  The paper is a theory paper with no
+// measurement tables; each experiment operationalizes one worked
+// example or theorem as a table of measured results, so that
+// `cmd/epbench` (and the root benchmarks) can regenerate "the paper's
+// numbers": who wins, by what factor, and where the asymptotic shape
+// shows.  Every table self-validates (the OK column aggregates exact
+// cross-checks) and renders as text, CSV, or the BENCH_*.json format
+// that tracks the perf trajectory across PRs.
+package experiments

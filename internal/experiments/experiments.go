@@ -1,10 +1,3 @@
-// Package experiments implements the reproduction experiment suite
-// E1–E9 and the ablations A1–A5 documented in DESIGN.md §4.  The paper is
-// a theory paper with no measurement tables; each experiment
-// operationalizes one worked example or theorem as a table of measured
-// results, so that `cmd/epbench` (and the root benchmarks) can regenerate
-// "the paper's numbers": who wins, by what factor, and where the
-// asymptotic shape shows.
 package experiments
 
 import (
@@ -138,6 +131,7 @@ func All() []Spec {
 		{"E8", "Theorem 3.1 — end-to-end interreducibility count[Φ] ≡ count[Φ⁺]", RunE8},
 		{"E9", "Theorem 3.2 — trichotomy classification of query families", RunE9},
 		{"E10", "FPT vs XP — time as the parameter (query size) grows", RunE10},
+		{"S1", "Service throughput — epserved HTTP counting under concurrent clients", RunS1},
 		{"A1", "Ablation — counting engines on one workload", RunA1},
 		{"A2", "Ablation — φ* with vs without cancellation", RunA2},
 		{"A3", "Ablation — normalization (UCQ minimization) on vs off", RunA3},

@@ -1,0 +1,5 @@
+// Package graph provides simple undirected graphs and the graph problems
+// the paper's classification hinges on: connected components (formula
+// components, Section 2.1), and the clique decision and counting problems
+// p-Clique and p-#Clique that anchor cases (2) and (3) of the trichotomy.
+package graph

@@ -1,12 +1,3 @@
-// Package hom decides and enumerates homomorphisms between finite
-// relational structures.  A homomorphism h : A → B maps elements of A to
-// elements of B so that every tuple of every relation of A is carried to a
-// tuple of B (Section 2.1).  The engine is a constraint solver: variables
-// are A's elements, domains are subsets of B's elements, the constraints
-// are A's tuples; it supports pinned partial maps, restricted domains,
-// injectivity groups (for the bijection searches of Theorem 5.4), and
-// enumeration of the assignments of a projection set that extend to a
-// homomorphism (the counting semantics of pp-formulas).
 package hom
 
 import (

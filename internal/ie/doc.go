@@ -1,0 +1,9 @@
+// Package ie implements the inclusion–exclusion machinery of Section 5.3:
+// expanding a disjunction of free pp-formulas into signed conjunction
+// terms, and cancelling counting-equivalent terms to obtain φ*
+// (Proposition 5.16, Examples 4.2 and 5.15).  For every structure B,
+//
+//	|φ(B)| = Σ_i  c_i · |φ*_i(B)|,
+//
+// with pairwise non-counting-equivalent φ*_i and non-zero integer c_i.
+package ie

@@ -1,9 +1,3 @@
-// Package lin provides exact linear algebra over big rationals: Gaussian
-// elimination and Vandermonde solves.  The paper's oracle reductions
-// (Example 4.3, Theorem 5.20, Theorem 5.4's proof) recover counts by
-// solving linear systems whose matrices are Vandermonde matrices built
-// from counts on product structures; exact rational arithmetic keeps the
-// recovered counts exact integers.
 package lin
 
 import (

@@ -1,0 +1,7 @@
+// Package logic provides the syntax of existential positive (ep) formulas:
+// atoms, conjunction, disjunction and existential quantification, together
+// with the standard syntactic operations the paper needs — free variables,
+// liberal variables (lib ⊇ free, Section 2.1), capture-free renaming, and
+// the translation of an arbitrary ep-formula into a disjunction of prenex
+// primitive positive (pp) formulas.
+package logic

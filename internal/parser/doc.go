@@ -1,0 +1,14 @@
+// Package parser provides the concrete syntax of the library: ep-formula
+// queries such as
+//
+//	phi(w,x,y,z) := E(x,y) & (E(w,x) | exists u. E(y,u) & E(u,u))
+//
+// and structure fact files such as
+//
+//	universe a, b, c.
+//	E(a,b). E(b,c). F(c).
+//
+// Operator precedence: '|' binds loosest, then '&'; 'exists v[, w...].'
+// extends as far right as possible; parentheses group; 'true' is the empty
+// conjunction.
+package parser

@@ -1,0 +1,9 @@
+// Package pp implements prenex primitive positive formulas in the
+// structure-pair view of Chandra–Merlin (Section 2.1 "pp-formulas"): a
+// pp-formula φ(S) is a pair (A, S) of a finite structure A whose universe
+// is the liberal variables S plus the quantified variables, and whose
+// tuples are φ's atoms.  The package provides the syntactic and algebraic
+// toolkit of the paper: components, augmented structures, cores,
+// ∃-components, contract graphs, conjunction, Chandra–Merlin entailment,
+// and the renaming / counting / semi-counting equivalences of Section 5.
+package pp

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/term"
+)
+
+// The wire types of the epserved HTTP/JSON API, shared by the handlers
+// and the Client.  Counts travel as decimal strings: answer counts are
+// big integers (|B|^|S| grows past every fixed-width type) and JSON
+// numbers are lossy beyond 2^53.
+
+// RelSpec names one relation of a signature: {"name": "E", "arity": 2}.
+type RelSpec struct {
+	Name  string `json:"name"`
+	Arity int    `json:"arity"`
+}
+
+// CreateStructureRequest ingests a named structure.  Facts is the fact
+// syntax accepted by epcq.ParseStructure (optionally with a universe
+// declaration); Signature is optional — when absent, relation arities
+// are inferred from the facts.
+type CreateStructureRequest struct {
+	Name      string    `json:"name"`
+	Facts     string    `json:"facts"`
+	Signature []RelSpec `json:"signature,omitempty"`
+}
+
+// AppendFactsRequest appends facts to an existing structure.  New
+// element names extend the universe; duplicate tuples are ignored.  The
+// append is atomic with respect to concurrent counts: every count
+// observes either the whole batch or none of it.
+type AppendFactsRequest struct {
+	Facts string `json:"facts"`
+}
+
+// StructureInfo describes one registered structure.  Version increases
+// with every mutation; counts report the version they executed against,
+// so clients can correlate answers with ingest checkpoints.
+type StructureInfo struct {
+	Name    string `json:"name"`
+	Size    int    `json:"size"`    // universe size
+	Tuples  int    `json:"tuples"`  // total tuples across relations
+	Version uint64 `json:"version"` // mutation counter
+}
+
+// StructuresResponse lists the registry.
+type StructuresResponse struct {
+	Structures []StructureInfo `json:"structures"`
+}
+
+// CountRequest counts a query's answers on one named structure.
+type CountRequest struct {
+	// Query is the ep-query source text, e.g.
+	// "tri(x,y,z) := E(x,y) & E(y,z) & E(z,x)".
+	Query string `json:"query"`
+	// Structure is the registered structure's name.
+	Structure string `json:"structure"`
+	// Engine selects the counting engine ("fpt" when empty; also
+	// "fpt-nocore", "projection", "brute", "auto").
+	Engine string `json:"engine,omitempty"`
+	// TimeoutMillis lowers the server's per-request deadline for this
+	// request (0 = server default; values above the server default are
+	// clamped to it).
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+}
+
+// CountResponse is one count: the decimal answer count and the
+// structure version it was computed against.
+type CountResponse struct {
+	Count     string `json:"count"`
+	Version   uint64 `json:"version"`
+	ElapsedUS int64  `json:"elapsed_us"`
+}
+
+// CountBatchRequest counts one query on many named structures in one
+// request, fanned out on the server's bounded worker pool.
+type CountBatchRequest struct {
+	Query         string   `json:"query"`
+	Structures    []string `json:"structures"`
+	Engine        string   `json:"engine,omitempty"`
+	TimeoutMillis int64    `json:"timeout_ms,omitempty"`
+}
+
+// CountBatchResponse carries the per-structure counts in request order,
+// with the versions they were computed against.
+type CountBatchResponse struct {
+	Counts    []string `json:"counts"`
+	Versions  []uint64 `json:"versions"`
+	ElapsedUS int64    `json:"elapsed_us"`
+}
+
+// QueryStats is one cached query's compile- and run-time telemetry.
+type QueryStats struct {
+	// Query is the source text the counter was registered under.
+	Query string `json:"query"`
+	// Engine is the counting engine the counter compiles to.
+	Engine string `json:"engine"`
+	// Pool is the canonical term pool's interning summary.
+	Pool term.Stats `json:"pool"`
+	// Plans / SharedPlans: engine plans backing the counter, and how
+	// many came out of the process-wide fingerprint-keyed plan cache
+	// (compiled earlier by a counting-equivalent query).
+	Plans       int `json:"plans"`
+	SharedPlans int `json:"shared_plans"`
+	// CountCacheHits/Misses are the per-session count-memo outcomes.
+	CountCacheHits   uint64 `json:"count_cache_hits"`
+	CountCacheMisses uint64 `json:"count_cache_misses"`
+}
+
+// AdmissionStats counts the admission controller's decisions since
+// server start.
+type AdmissionStats struct {
+	// InFlight is the number of counting requests currently executing.
+	InFlight int64 `json:"in_flight"`
+	// MaxInFlight is the admission cap.
+	MaxInFlight int `json:"max_in_flight"`
+	// Admitted / Rejected: counting requests let through / turned away
+	// with 503 because the cap was reached.
+	Admitted uint64 `json:"admitted"`
+	Rejected uint64 `json:"rejected"`
+	// Deadline counts requests that hit their per-request deadline.
+	Deadline uint64 `json:"deadline"`
+}
+
+// StatsResponse is the /stats snapshot: admission telemetry, the
+// per-query counter statistics, the structure registry, and the
+// process-wide engine session registry.
+type StatsResponse struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Admission     AdmissionStats           `json:"admission"`
+	Workers       int                      `json:"workers"`
+	Queries       []QueryStats             `json:"queries"`
+	Structures    []StructureInfo          `json:"structures"`
+	Sessions      engine.SessionCacheStats `json:"sessions"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// queryStatsFrom flattens a counter's Stats into the wire shape.
+func queryStatsFrom(query, engineName string, st core.Stats) QueryStats {
+	return QueryStats{
+		Query:            query,
+		Engine:           engineName,
+		Pool:             st.Pool,
+		Plans:            st.Plans,
+		SharedPlans:      st.SharedPlans,
+		CountCacheHits:   st.CountCacheHits,
+		CountCacheMisses: st.CountCacheMisses,
+	}
+}

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/big"
+	"net/http"
+	"strings"
+)
+
+// Client is a typed HTTP client for an epserved server.  The zero
+// value is not usable; call NewClient.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://127.0.0.1:8080").  hc may be nil for http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// do sends a JSON request and decodes the JSON response into out,
+// mapping non-2xx responses to errors carrying the server's message.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var er ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
+			return fmt.Errorf("epserved: %s %s: %s (HTTP %d)", method, path, er.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("epserved: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		// Drain so the keep-alive connection returns to the pool.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// CreateStructure ingests a named structure from fact syntax.
+func (c *Client) CreateStructure(ctx context.Context, name, facts string, sig []RelSpec) (StructureInfo, error) {
+	var info StructureInfo
+	err := c.do(ctx, http.MethodPost, "/structures",
+		CreateStructureRequest{Name: name, Facts: facts, Signature: sig}, &info)
+	return info, err
+}
+
+// AppendFacts appends facts to a registered structure (atomic with
+// respect to concurrent counts) and returns its new metadata.
+func (c *Client) AppendFacts(ctx context.Context, name, facts string) (StructureInfo, error) {
+	var info StructureInfo
+	err := c.do(ctx, http.MethodPost, "/structures/"+name+"/facts",
+		AppendFactsRequest{Facts: facts}, &info)
+	return info, err
+}
+
+// Structures lists the registered structures.
+func (c *Client) Structures(ctx context.Context) ([]StructureInfo, error) {
+	var resp StructuresResponse
+	err := c.do(ctx, http.MethodGet, "/structures", nil, &resp)
+	return resp.Structures, err
+}
+
+// Structure fetches one structure's metadata.
+func (c *Client) Structure(ctx context.Context, name string) (StructureInfo, error) {
+	var info StructureInfo
+	err := c.do(ctx, http.MethodGet, "/structures/"+name, nil, &info)
+	return info, err
+}
+
+// Count counts the query's answers on one registered structure.  The
+// returned big.Int is parsed from the server's decimal string.
+func (c *Client) Count(ctx context.Context, query, structureName string) (*big.Int, CountResponse, error) {
+	return c.CountWith(ctx, CountRequest{Query: query, Structure: structureName})
+}
+
+// CountWith is Count with full request control (engine, timeout).
+func (c *Client) CountWith(ctx context.Context, req CountRequest) (*big.Int, CountResponse, error) {
+	var resp CountResponse
+	if err := c.do(ctx, http.MethodPost, "/count", req, &resp); err != nil {
+		return nil, resp, err
+	}
+	v, ok := new(big.Int).SetString(resp.Count, 10)
+	if !ok {
+		return nil, resp, fmt.Errorf("epserved: malformed count %q", resp.Count)
+	}
+	return v, resp, nil
+}
+
+// CountBatch counts the query on several registered structures in one
+// request; result i corresponds to structures[i].
+func (c *Client) CountBatch(ctx context.Context, query string, structures []string) ([]*big.Int, CountBatchResponse, error) {
+	return c.CountBatchWith(ctx, CountBatchRequest{Query: query, Structures: structures})
+}
+
+// CountBatchWith is CountBatch with full request control.
+func (c *Client) CountBatchWith(ctx context.Context, req CountBatchRequest) ([]*big.Int, CountBatchResponse, error) {
+	var resp CountBatchResponse
+	if err := c.do(ctx, http.MethodPost, "/countBatch", req, &resp); err != nil {
+		return nil, resp, err
+	}
+	out := make([]*big.Int, len(resp.Counts))
+	for i, s := range resp.Counts {
+		v, ok := new(big.Int).SetString(s, 10)
+		if !ok {
+			return nil, resp, fmt.Errorf("epserved: malformed count %q", s)
+		}
+		out[i] = v
+	}
+	return out, resp, nil
+}
+
+// Stats fetches the server's telemetry snapshot.
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	var resp StatsResponse
+	err := c.do(ctx, http.MethodGet, "/stats", nil, &resp)
+	return resp, err
+}
+
+// Healthz reports whether the server answers its health check.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}

@@ -1,0 +1,42 @@
+// Package serve is the counting service layer: an HTTP/JSON front-end
+// (cmd/epserved) that turns the compiled counting pipeline into a
+// long-lived, concurrent service — the first surface where the
+// engine's cross-request machinery (fingerprint-keyed plan sharing,
+// per-structure sessions, per-fingerprint count memoization,
+// version-based invalidation) pays off across clients rather than
+// within one process.
+//
+// The pieces:
+//
+//   - Registry: named structures, each guarded by a read/write lock —
+//     counts run concurrently under the read side, fact appends take
+//     the write side, so every count observes a consistent structure
+//     version and every append batch is atomic.  Appends ride the
+//     columnar store's incremental posting lists (ingest cost is
+//     proportional to the delta) and bump the structure version, which
+//     invalidates cached engine sessions; the next count
+//     re-materializes against the new version.  The registry also
+//     caches compiled queries per (source text, engine, signature);
+//     counting-equivalent queries — even textually different ones from
+//     different clients — share engine plans underneath through the
+//     fingerprint-keyed plan cache.
+//
+//   - Server: the HTTP endpoints.  POST /structures ingests, POST
+//     /structures/{name}/facts appends, POST /count and /countBatch
+//     execute on the engine's bounded worker pools, GET /stats
+//     surfaces the typed core.Counter.Stats of every cached query plus
+//     the term-pool, session-registry, and admission telemetry, GET
+//     /healthz answers liveness.  Admission control caps in-flight
+//     counting requests (excess requests get 503 + Retry-After rather
+//     than queueing), and every counting request carries a deadline —
+//     the server default, optionally lowered per request — threaded as
+//     a context through the executor, so an expired request stops
+//     consuming CPU at the executor's cancellation-poll granularity
+//     and answers 504.  Shutdown drains in-flight requests.
+//
+//   - Client: a typed client for the wire API (api.go), used by the
+//     examples, the load generator, and tests.
+//
+// Counts travel as decimal strings: answer counts are big integers and
+// JSON numbers are lossy beyond 2^53.
+package serve

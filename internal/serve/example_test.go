@@ -1,0 +1,43 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+
+	"repro/internal/serve"
+)
+
+// A complete client round-trip: ingest a small graph, count triangle
+// answers, stream an append, and recount — the mutation is visible to
+// the very next request.
+func ExampleClient() {
+	srv := serve.New(serve.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx := context.Background()
+	cl := serve.NewClient(ts.URL, ts.Client())
+
+	if _, err := cl.CreateStructure(ctx, "g", "E(a,b). E(b,c). E(c,a).", nil); err != nil {
+		panic(err)
+	}
+	tri := "tri(x,y,z) := E(x,y) & E(y,z) & E(z,x)"
+	n, _, err := cl.Count(ctx, tri, "g")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("triangles:", n)
+
+	if _, err := cl.AppendFacts(ctx, "g", "E(b,a). E(c,b). E(a,c)."); err != nil {
+		panic(err)
+	}
+	n, _, err = cl.Count(ctx, tri, "g")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("after append:", n)
+	// Output:
+	// triangles: 3
+	// after append: 6
+}

@@ -1,0 +1,312 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/count"
+	"repro/internal/engine"
+	"repro/internal/parser"
+	"repro/internal/structure"
+)
+
+// errDuplicate marks a CreateStructure name collision (mapped to 409).
+var errDuplicate = errors.New("already exists")
+
+// structEntry is one registered structure plus its mutation lock.
+//
+// The columnar structure store is safe for any number of concurrent
+// readers but mutation (AddFact/AddTuple bumping columns, posting
+// lists, and the version counter) must be exclusive, so counts hold the
+// read side and appends the write side.  This also makes every append
+// batch atomic with respect to counting: a count executes against a
+// version boundary, never half a batch, and the engine's per-structure
+// sessions invalidate on the version bump the moment the write lock is
+// released.
+type structEntry struct {
+	mu sync.RWMutex
+	b  *structure.Structure
+}
+
+// info snapshots the structure's metadata under the read lock.
+func (e *structEntry) info(name string) StructureInfo {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return StructureInfo{Name: name, Size: e.b.Size(), Tuples: e.b.NumTuples(), Version: e.b.Version()}
+}
+
+// queryKey identifies a cached counter: the query source text, the
+// engine, and the signature it was compiled against (the same text over
+// different vocabularies compiles to different counters).
+type queryKey struct {
+	src    string
+	engine engine.Name
+	sig    string
+}
+
+// Registry holds the server's named structures and its compiled-query
+// cache.  Counters are cached per (query text, engine, signature);
+// textually different but counting-equivalent queries still share
+// compiled plans underneath through the engine's fingerprint-keyed plan
+// cache, so the counter cache only saves front-end (parse + Theorem 3.1)
+// work.
+type Registry struct {
+	mu      sync.RWMutex
+	structs map[string]*structEntry
+	queries map[queryKey]*core.Counter
+
+	// queryCap bounds the counter cache; reaching it wipes the cache
+	// wholesale (a memo, not a store — entries rebuild on demand).
+	queryCap int
+	// workers is the budget handed to every new counter (0 = process
+	// default).
+	workers int
+}
+
+// NewRegistry returns an empty registry.  queryCap ≤ 0 selects the
+// default counter-cache capacity.
+func NewRegistry(queryCap, workers int) *Registry {
+	if queryCap <= 0 {
+		queryCap = 256
+	}
+	return &Registry{
+		structs:  make(map[string]*structEntry),
+		queries:  make(map[queryKey]*core.Counter),
+		queryCap: queryCap,
+		workers:  workers,
+	}
+}
+
+// CreateStructure parses and registers a named structure.  The name must
+// be unused; facts may be empty only if a signature is given.
+func (r *Registry) CreateStructure(name, facts string, spec []RelSpec) (StructureInfo, error) {
+	if name == "" {
+		return StructureInfo{}, fmt.Errorf("structure name must not be empty")
+	}
+	var sig *structure.Signature
+	if len(spec) > 0 {
+		rels := make([]structure.RelSym, len(spec))
+		for i, rs := range spec {
+			rels[i] = structure.RelSym{Name: rs.Name, Arity: rs.Arity}
+		}
+		var err error
+		sig, err = structure.NewSignature(rels...)
+		if err != nil {
+			return StructureInfo{}, err
+		}
+	}
+	b, err := parser.ParseStructure(facts, sig)
+	if err != nil {
+		return StructureInfo{}, err
+	}
+	e := &structEntry{b: b}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.structs[name]; dup {
+		return StructureInfo{}, fmt.Errorf("structure %q %w", name, errDuplicate)
+	}
+	r.structs[name] = e
+	return StructureInfo{Name: name, Size: b.Size(), Tuples: b.NumTuples(), Version: b.Version()}, nil
+}
+
+// entry resolves a named structure.
+func (r *Registry) entry(name string) (*structEntry, error) {
+	r.mu.RLock()
+	e := r.structs[name]
+	r.mu.RUnlock()
+	if e == nil {
+		return nil, fmt.Errorf("unknown structure %q", name)
+	}
+	return e, nil
+}
+
+// AppendFacts parses facts over the structure's signature and merges
+// them in under the write lock: new element names extend the universe,
+// duplicate tuples are ignored.  The whole batch lands in one critical
+// section, so concurrent counts see it atomically; the structure's
+// version bump invalidates cached engine sessions, and the next count
+// re-materializes only what changed structures need (the columnar
+// store's posting lists are maintained incrementally — ingest cost is
+// proportional to the appended facts, not to the structure).
+func (r *Registry) AppendFacts(name, facts string) (StructureInfo, error) {
+	e, err := r.entry(name)
+	if err != nil {
+		return StructureInfo{}, err
+	}
+	// Parse outside the lock (against the immutable signature), merge
+	// under it.
+	e.mu.RLock()
+	sig := e.b.Signature()
+	e.mu.RUnlock()
+	delta, err := parser.ParseStructure(facts, sig)
+	if err != nil {
+		return StructureInfo{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := mergeInto(e.b, delta); err != nil {
+		return StructureInfo{}, err
+	}
+	return StructureInfo{Name: name, Size: e.b.Size(), Tuples: e.b.NumTuples(), Version: e.b.Version()}, nil
+}
+
+// mergeInto adds every element and tuple of delta into dst (by element
+// name; dst's signature must cover delta's relations).
+func mergeInto(dst, delta *structure.Structure) error {
+	for _, name := range delta.ElemNames() {
+		dst.EnsureElem(name)
+	}
+	for _, rel := range delta.Signature().Rels() {
+		names := make([]string, rel.Arity)
+		var err error
+		delta.ForEachTuple(rel.Name, func(t []int) bool {
+			for i, v := range t {
+				names[i] = delta.ElemName(v)
+			}
+			if e := dst.AddFact(rel.Name, names...); e != nil {
+				err = e
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StructureInfo snapshots one structure's metadata.
+func (r *Registry) StructureInfo(name string) (StructureInfo, error) {
+	e, err := r.entry(name)
+	if err != nil {
+		return StructureInfo{}, err
+	}
+	return e.info(name), nil
+}
+
+// Structures lists every registered structure, sorted by name.
+func (r *Registry) Structures() []StructureInfo {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.structs))
+	for n := range r.structs {
+		names = append(names, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	out := make([]StructureInfo, 0, len(names))
+	for _, n := range names {
+		if e, err := r.entry(n); err == nil {
+			out = append(out, e.info(n))
+		}
+	}
+	return out
+}
+
+// counterFor resolves (compiling and caching on first use) the counter
+// of a query over a signature.  Counting-equivalent queries compiled
+// here share engine plans through the fingerprint-keyed plan cache even
+// when their source texts differ.
+func (r *Registry) counterFor(src string, eng engine.Name, sig *structure.Signature) (*core.Counter, error) {
+	key := queryKey{src: src, engine: eng, sig: sig.String()}
+	r.mu.RLock()
+	c := r.queries[key]
+	r.mu.RUnlock()
+	if c != nil {
+		return c, nil
+	}
+	q, err := parser.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	c, err = core.NewCounter(q, sig, count.PPEngine(eng))
+	if err != nil {
+		return nil, err
+	}
+	c.WithWorkers(r.workers)
+	r.mu.Lock()
+	if prev := r.queries[key]; prev != nil {
+		c = prev // a concurrent compile won; keep its telemetry
+	} else {
+		if len(r.queries) >= r.queryCap {
+			r.queries = make(map[queryKey]*core.Counter, r.queryCap)
+		}
+		r.queries[key] = c
+	}
+	r.mu.Unlock()
+	return c, nil
+}
+
+// QueryStats snapshots every cached counter's telemetry, sorted by
+// query text for stable output.
+func (r *Registry) QueryStats() []QueryStats {
+	type pair struct {
+		key queryKey
+		c   *core.Counter
+	}
+	r.mu.RLock()
+	pairs := make([]pair, 0, len(r.queries))
+	for k, c := range r.queries {
+		pairs = append(pairs, pair{key: k, c: c})
+	}
+	r.mu.RUnlock()
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].key.src != pairs[j].key.src {
+			return pairs[i].key.src < pairs[j].key.src
+		}
+		return pairs[i].key.engine < pairs[j].key.engine
+	})
+	out := make([]QueryStats, 0, len(pairs))
+	for _, p := range pairs {
+		out = append(out, queryStatsFrom(p.key.src, p.key.engine.String(), p.c.Stats()))
+	}
+	return out
+}
+
+// lockAll acquires the read locks of the named structures in a global
+// order (sorted unique names), preventing lock-order inversion against
+// writers, and returns the entries aligned with names plus an unlock
+// function.
+func (r *Registry) lockAll(names []string) (entries []*structEntry, unlock func(), err error) {
+	uniq := make(map[string]*structEntry, len(names))
+	order := make([]string, 0, len(names))
+	for _, n := range names {
+		if _, ok := uniq[n]; ok {
+			continue
+		}
+		e, err := r.entry(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		uniq[n] = e
+		order = append(order, n)
+	}
+	sort.Strings(order)
+	locked := make([]*structEntry, 0, len(order))
+	for _, n := range order {
+		e := uniq[n]
+		e.mu.RLock()
+		locked = append(locked, e)
+	}
+	entries = make([]*structEntry, len(names))
+	for i, n := range names {
+		entries[i] = uniq[n]
+	}
+	return entries, func() {
+		for _, e := range locked {
+			e.mu.RUnlock()
+		}
+	}, nil
+}
+
+// parseEngine resolves the wire engine name ("" = fpt).
+func parseEngine(s string) (engine.Name, error) {
+	if strings.TrimSpace(s) == "" {
+		return engine.FPT, nil
+	}
+	return engine.ParseName(s)
+}

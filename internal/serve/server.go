@@ -1,0 +1,392 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/structure"
+)
+
+// Config tunes an epserved Server.  The zero value serves on an
+// OS-chosen port with the process-default worker budget, 64 in-flight
+// counting requests, and a 30-second per-request deadline.
+type Config struct {
+	// Addr is the listen address (":8080"; empty = ":0", an OS-chosen
+	// port, reported by Addr after Start).
+	Addr string
+	// MaxInFlight caps concurrently executing counting requests
+	// (/count and /countBatch); excess requests are rejected with 503
+	// immediately rather than queued (≤ 0 = 64).  Ingest, append, and
+	// stats requests are always admitted.
+	MaxInFlight int
+	// RequestTimeout is the per-request counting deadline (≤ 0 = 30s).
+	// A request's timeout_ms can lower it, never raise it; the deadline
+	// is threaded as a context through the executor, so an expired
+	// request stops consuming CPU at the executor's poll granularity.
+	RequestTimeout time.Duration
+	// Workers is the worker budget handed to every compiled counter
+	// (0 = EPCQ_WORKERS, else GOMAXPROCS).
+	Workers int
+	// QueryCacheCap bounds the compiled-query cache (≤ 0 = 256).
+	QueryCacheCap int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server is the epserved HTTP service: a structure registry, a
+// compiled-query cache, and counting endpoints that execute on the
+// engine's bounded worker pools under admission control.  Create with
+// New, wire into any http.Server via Handler, or use Start/Shutdown for
+// the managed lifecycle.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	mux     *http.ServeMux
+	started time.Time
+
+	inflight  chan struct{}
+	inFlight  atomic.Int64
+	admitted  atomic.Uint64
+	rejected  atomic.Uint64
+	deadlines atomic.Uint64
+
+	httpSrv  *http.Server
+	listener net.Listener
+}
+
+// New builds a Server from the config.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		reg:      NewRegistry(cfg.QueryCacheCap, cfg.Workers),
+		mux:      http.NewServeMux(),
+		started:  time.Now(),
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+	}
+	s.mux.HandleFunc("POST /structures", s.handleCreateStructure)
+	s.mux.HandleFunc("GET /structures", s.handleListStructures)
+	s.mux.HandleFunc("GET /structures/{name}", s.handleGetStructure)
+	s.mux.HandleFunc("POST /structures/{name}/facts", s.handleAppendFacts)
+	s.mux.HandleFunc("POST /count", s.handleCount)
+	s.mux.HandleFunc("POST /countBatch", s.handleCountBatch)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Registry exposes the server's registry (examples and in-process
+// drivers preload structures through it).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the server's HTTP handler (mountable under httptest
+// or an external http.Server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on cfg.Addr and serves in a background goroutine until
+// Shutdown.  It returns once the listener is bound, so Addr is valid
+// immediately after.
+func (s *Server) Start() error {
+	addr := s.cfg.Addr
+	if addr == "" {
+		addr = ":0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.listener = ln
+	s.httpSrv = &http.Server{Handler: s.mux}
+	go func() { _ = s.httpSrv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address after Start.
+func (s *Server) Addr() string {
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// Shutdown gracefully stops a Started server: the listener closes
+// immediately (new connections are refused), in-flight requests run to
+// completion, and the call returns when they have drained or ctx
+// expires — whichever comes first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.httpSrv == nil {
+		return nil
+	}
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// ---- request plumbing ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// maxRequestBytes bounds request bodies (fact batches included).
+const maxRequestBytes = 64 << 20
+
+// admit reserves an in-flight counting slot, or rejects with 503 when
+// the server is saturated.  The returned release must be called when
+// the request finishes.
+func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	select {
+	case s.inflight <- struct{}{}:
+		s.admitted.Add(1)
+		s.inFlight.Add(1)
+		return func() {
+			s.inFlight.Add(-1)
+			<-s.inflight
+		}, true
+	default:
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "server at max in-flight counting requests (%d)", s.cfg.MaxInFlight)
+		return nil, false
+	}
+}
+
+// requestCtx derives the counting context: the client's connection
+// context bounded by the server deadline, optionally lowered by the
+// request's timeout_ms.
+func (s *Server) requestCtx(r *http.Request, timeoutMillis int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.RequestTimeout
+	if timeoutMillis > 0 {
+		if td := time.Duration(timeoutMillis) * time.Millisecond; td < d {
+			d = td
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// countStatus maps a counting error to an HTTP status.
+func (s *Server) countStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.deadlines.Add(1)
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is moot but 499-style
+		// semantics map closest onto 504 here.
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// ---- handlers ----
+
+func (s *Server) handleCreateStructure(w http.ResponseWriter, r *http.Request) {
+	var req CreateStructureRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	info, err := s.reg.CreateStructure(req.Name, req.Facts, req.Signature)
+	if err != nil {
+		status := http.StatusBadRequest
+		if isDuplicate(err) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func isDuplicate(err error) bool {
+	return err != nil && errors.Is(err, errDuplicate)
+}
+
+func (s *Server) handleListStructures(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StructuresResponse{Structures: s.reg.Structures()})
+}
+
+func (s *Server) handleGetStructure(w http.ResponseWriter, r *http.Request) {
+	info, err := s.reg.StructureInfo(r.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleAppendFacts(w http.ResponseWriter, r *http.Request) {
+	var req AppendFactsRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	name := r.PathValue("name")
+	info, err := s.reg.AppendFacts(name, req.Facts)
+	if err != nil {
+		status := http.StatusBadRequest
+		if _, lookupErr := s.reg.entry(name); lookupErr != nil {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	var req CountRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	eng, err := parseEngine(req.Engine)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, err := s.reg.entry(req.Structure)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	// The signature is immutable after ingest, so the counter resolves
+	// (and on first use compiles) outside the structure lock.
+	c, err := s.reg.counterFor(req.Query, eng, e.b.Signature())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMillis)
+	defer cancel()
+	start := time.Now()
+	// The read lock spans version read and count, so the request
+	// executes against one consistent structure version.
+	e.mu.RLock()
+	version := e.b.Version()
+	v, err := c.CountCtx(ctx, e.b)
+	e.mu.RUnlock()
+	if err != nil {
+		writeError(w, s.countStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CountResponse{
+		Count:     v.String(),
+		Version:   version,
+		ElapsedUS: time.Since(start).Microseconds(),
+	})
+}
+
+func (s *Server) handleCountBatch(w http.ResponseWriter, r *http.Request) {
+	var req CountBatchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Structures) == 0 {
+		writeError(w, http.StatusBadRequest, "structures must not be empty")
+		return
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	eng, err := parseEngine(req.Engine)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	entries, unlock, err := s.reg.lockAll(req.Structures)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	defer unlock()
+	sig := entries[0].b.Signature()
+	versions := make([]uint64, len(entries))
+	bs := make([]*structure.Structure, len(entries))
+	for i, e := range entries {
+		if !sig.Equal(e.b.Signature()) {
+			writeError(w, http.StatusBadRequest,
+				"structures %q and %q have different signatures", req.Structures[0], req.Structures[i])
+			return
+		}
+		bs[i] = e.b
+		versions[i] = e.b.Version()
+	}
+	c, err := s.reg.counterFor(req.Query, eng, sig)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMillis)
+	defer cancel()
+	start := time.Now()
+	vs, err := c.CountBatchCtx(ctx, bs)
+	if err != nil {
+		writeError(w, s.countStatus(err), "%v", err)
+		return
+	}
+	counts := make([]string, len(vs))
+	for i, v := range vs {
+		counts[i] = v.String()
+	}
+	writeJSON(w, http.StatusOK, CountBatchResponse{
+		Counts:    counts,
+		Versions:  versions,
+		ElapsedUS: time.Since(start).Microseconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Admission: AdmissionStats{
+			InFlight:    s.inFlight.Load(),
+			MaxInFlight: s.cfg.MaxInFlight,
+			Admitted:    s.admitted.Load(),
+			Rejected:    s.rejected.Load(),
+			Deadline:    s.deadlines.Load(),
+		},
+		Workers:    engine.EffectiveWorkers(s.cfg.Workers),
+		Queries:    s.reg.QueryStats(),
+		Structures: s.reg.Structures(),
+		Sessions:   engine.SessionStats(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}

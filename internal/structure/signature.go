@@ -1,18 +1,3 @@
-// Package structure implements finite relational structures over purely
-// relational signatures, together with the structure algebra the paper
-// relies on: direct products, powers, disjoint unions, the one-element
-// all-loop structure I_τ, and B+kI padding.
-//
-// Universes are finite, non-empty sets of named elements.  Each relation
-// is held in a columnar Relation store: flat []int32 columns, a
-// packed-key tuple set for O(1) dedup/membership, and per-position
-// posting lists maintained incrementally on insertion.  Consumers
-// iterate allocation-free with ForEachTuple/ForEachWith or access
-// columns through Rel; the materializing [][]int accessors Tuples and
-// TuplesWith are deprecated compatibility shims retained for the
-// migration (FullScanCount counts their use).  Element order,
-// relation-symbol order, and tuple insertion order are deterministic so
-// that all algorithms built on top are reproducible.
 package structure
 
 import (
