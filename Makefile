@@ -36,6 +36,7 @@ bench:
 bench-smoke:
 	$(GO) test -run XXX -bench 'JoinCount|FPT|UnionDedup' -benchmem -benchtime 0.2s .
 	EPCQ_BENCH_SMOKE=1 $(GO) test -run TestBenchSmoke -v ./internal/engine
+	EPCQ_BENCH_SMOKE=1 $(GO) test -run TestBenchSmoke -v ./internal/serve
 
 fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzParseQuery -fuzztime 10s ./internal/parser

@@ -36,6 +36,23 @@
 //     LRU eviction of the session registry under cap pressure
 //     (SessionStats exposes the registry telemetry).
 //
+// A fourth concern, delta maintenance (delta.go), spans the last two
+// layers: memoized counts of delta-maintainable FPT plans are
+// version-stamped and *advanced* across append batches instead of
+// recomputed.  When a structure's version bumps, SessionFor carries the
+// stale session's settled counts into its replacement as priors; the
+// next keyed count of the same fingerprint then applies the exact
+// telescoped delta-join identity — one mixed join per constraint whose
+// table grew, over zero-copy prefix/suffix views of the new session
+// tables (old tables are row prefixes, by the stores' insertion-order
+// materialization) — and re-stamps the memo, at a cost proportional to
+// the appended rows.  Plans opt in at compile time (deltaOK: every
+// component a quantifier-free join over atoms); oversized deltas,
+// foreign or rewound snapshots, and disabled maintenance
+// (SetDeltaEnabled, SetDeltaThresholds) fall back to a full recount
+// that re-captures fresh state.  DeltaStats counts advances vs
+// fallbacks; priors live inside sessions, so eviction frees them.
+//
 // Execution is cancellable: CountInCtx / CountKeyedCtx / RunBoundedCtx
 // thread a context through every engine, and the join-count DP polls it
 // at pivot-row and emission granularity (dpRun.cancelled), so a

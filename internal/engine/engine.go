@@ -140,20 +140,45 @@ func CountKeyed(pl Plan, fp string, s *Session, workers int) (*big.Int, bool, er
 // deadline.  Each retry lands on a fresh entry (the cancelled one was
 // evicted) computed under a live context, so the loop terminates once
 // this caller either computes the count itself or its own ctx fires.
+// A keyed count against a delta-capable plan (deltaPlan, currently the
+// FPT family) is maintained incrementally across append batches: when
+// the session adopted a prior for the fingerprint from the structure's
+// previous version, the plan advances it by the appended delta instead
+// of recounting, and every successful count leaves behind the state the
+// next advance starts from (delta.go).
 func CountKeyedCtx(ctx context.Context, pl Plan, fp string, s *Session, workers int) (*big.Int, bool, error) {
 	if fp == "" {
 		v, err := CountInCtx(ctx, pl, s, workers)
 		return v, false, err
 	}
+	dp, _ := pl.(deltaPlan)
 	for {
-		v, hit, err := s.CountMemo(fp, pl.Engine(), func() (*big.Int, error) {
-			return CountInCtx(ctx, pl, s, workers)
+		v, hit, err := s.countMemoState(fp, pl.Engine(), func(prev *priorCount) (*big.Int, any, error) {
+			if dp == nil {
+				v, err := CountInCtx(ctx, pl, s, workers)
+				return v, nil, err
+			}
+			if prev != nil {
+				if v, st, ok, err := dp.countAdvanceIn(ctx, s, workers, *prev); ok || err != nil {
+					return v, st, err
+				}
+			}
+			return dp.countStateIn(ctx, s, workers)
 		})
 		if err != nil && isCancellation(err) && (ctx == nil || ctx.Err() == nil) {
 			continue
 		}
 		return v, hit, err
 	}
+}
+
+// deltaPlan is the optional plan capability behind incremental count
+// maintenance: a full count that captures advanceable state, and an
+// advance that rolls a prior count forward across an append delta
+// (ok=false: not applicable, caller recounts).
+type deltaPlan interface {
+	countStateIn(ctx context.Context, s *Session, workers int) (*big.Int, any, error)
+	countAdvanceIn(ctx context.Context, s *Session, workers int, prev priorCount) (*big.Int, any, bool, error)
 }
 
 // isCancellation reports whether err stems from a context firing.

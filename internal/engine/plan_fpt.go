@@ -26,6 +26,14 @@ type fptPlan struct {
 	p     pp.PP
 	sig   *structure.Signature
 	comps []*planComponent
+
+	// deltaOK marks the plan as delta-maintainable (delta.go): every
+	// component is a quantifier-free join over atom constraints — no
+	// sentence components, no extra sentence checks, no ∃-component
+	// predicate tables.  Only then is each component's join value a pure
+	// function of its constraint tables, which is what the telescoped
+	// delta-join advance relies on.
+	deltaOK bool
 }
 
 // planConstraint is a constraint scheme over liberal positions of one
@@ -102,6 +110,7 @@ func newFPTPlan(p pp.PP, name Name, useCore bool) (*fptPlan, error) {
 		}
 		plan.comps = append(plan.comps, pc)
 	}
+	plan.deltaOK = deltaMaintainable(plan.comps)
 	return plan, nil
 }
 
@@ -358,16 +367,35 @@ func (pc *planComponent) count(ctx context.Context, s *Session, workers int) (*b
 	if pc.nActive == 0 {
 		return result, nil
 	}
+	joined, _, err := pc.joinState(ctx, s, workers)
+	if err != nil {
+		return nil, err
+	}
+	result.Mul(result, joined)
+	return result, nil
+}
+
+// joinState computes the component's join count over the session's
+// materialized constraint tables and reports, per constraint, those
+// tables' row counts — the cut points a later delta advance splits the
+// next version's tables at (delta.go).  For a constraint-free component
+// the join is the neutral 1 with no lens.
+func (pc *planComponent) joinState(ctx context.Context, s *Session, workers int) (*big.Int, []int, error) {
+	if pc.nActive == 0 {
+		return big.NewInt(1), nil, nil
+	}
 	tables := make([]*Table, len(pc.constraints))
+	lens := make([]int, len(pc.constraints))
 	for ci := range pc.constraints {
 		tables[ci] = s.tableFor(&pc.constraints[ci])
+		lens[ci] = tables[ci].Len()
 	}
 	// Bind the component to this session's tables: semi-join pre-pruning,
 	// per-node bind orders, prefix indexes — computed once per
 	// (component, session) and cached thereafter.
 	ep, empty := s.execPlanFor(pc, tables)
 	if empty {
-		return new(big.Int), nil
+		return new(big.Int), lens, nil
 	}
 	var done <-chan struct{}
 	if ctx != nil {
@@ -375,10 +403,9 @@ func (pc *planComponent) count(ctx context.Context, s *Session, workers int) (*b
 	}
 	joined, aborted := joinCount(pc, ep, s.B.Size(), workers, done)
 	if aborted {
-		return nil, ctxAbortErr(ctx)
+		return nil, nil, ctxAbortErr(ctx)
 	}
-	result.Mul(result, joined)
-	return result, nil
+	return joined, lens, nil
 }
 
 // ctxAbortErr maps an executor abort back to the context's error,

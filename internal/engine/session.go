@@ -30,6 +30,7 @@ type Session struct {
 	B *structure.Structure
 
 	version uint64
+	snap    structure.Snapshot
 	fpOnce  sync.Once
 	fp      uint64
 
@@ -38,6 +39,22 @@ type Session struct {
 	sentences map[*structure.Structure]bool
 	pruned    map[*planComponent]*pruneEntry
 	counts    map[countKey]*countEntry
+	// prior holds the settled, advanceable counts adopted from the
+	// structure's previous session (SessionFor carries them across a
+	// version bump): instead of recomputing a warm fingerprint from
+	// scratch, the delta executor advances its prior value by the rows
+	// appended since (delta.go).  Priors live inside the session, so
+	// LRU eviction of the session frees them with everything else.
+	prior map[countKey]priorCount
+}
+
+// priorCount is one adopted count: its value, the snapshot of the
+// structure extent it was computed at, and the plan's opaque
+// advanceable state.  All fields are read-only once installed.
+type priorCount struct {
+	v     *big.Int
+	snap  structure.Snapshot
+	state any
 }
 
 // countKey identifies a memoized term count: the canonical counting-
@@ -50,11 +67,17 @@ type countKey struct {
 }
 
 // countEntry guards one memoized count: duplicate requests wait on the
-// entry's Once while distinct fingerprints compute concurrently.
+// entry's Once while distinct fingerprints compute concurrently.  state
+// is the plan's opaque advanceable state (nil for plans without delta
+// support); done flips true only after a successful computation, so a
+// concurrent settledCounts can adopt v/state safely (the atomic store
+// orders the writes before any reader that observes done).
 type countEntry struct {
-	once sync.Once
-	v    *big.Int
-	err  error
+	once  sync.Once
+	v     *big.Int
+	state any
+	err   error
+	done  atomic.Bool
 }
 
 // pruneEntry guards one component's bound execution plan: semi-join
@@ -78,9 +101,11 @@ type tableEntry struct {
 
 // NewSession builds a fresh session for b.
 func NewSession(b *structure.Structure) *Session {
+	snap := b.Snapshot()
 	return &Session{
 		B:         b,
-		version:   b.Version(),
+		version:   snap.Version,
+		snap:      snap,
 		tables:    make(map[tableKey]*tableEntry),
 		sentences: make(map[*structure.Structure]bool),
 		pruned:    make(map[*planComponent]*pruneEntry),
@@ -97,6 +122,18 @@ func NewSession(b *structure.Structure) *Session {
 // it as read-only.  The bool reports a cache hit (the value may still be
 // computed by a concurrent first caller; the Once serializes that).
 func (s *Session) CountMemo(fp string, name Name, f func() (*big.Int, error)) (*big.Int, bool, error) {
+	return s.countMemoState(fp, name, func(*priorCount) (*big.Int, any, error) {
+		v, err := f()
+		return v, nil, err
+	})
+}
+
+// countMemoState is CountMemo with prior-state threading: the compute
+// function receives the count's adopted prior (value, snapshot, opaque
+// advanceable state from the structure's previous session) when one
+// exists, so a delta-capable plan can advance it instead of recounting;
+// it returns the new value plus the state a future advance starts from.
+func (s *Session) countMemoState(fp string, name Name, f func(prev *priorCount) (*big.Int, any, error)) (*big.Int, bool, error) {
 	key := countKey{fp: fp, name: name}
 	s.mu.Lock()
 	e := s.counts[key]
@@ -109,7 +146,20 @@ func (s *Session) CountMemo(fp string, name Name, f func() (*big.Int, error)) (*
 		s.counts[key] = e
 	}
 	s.mu.Unlock()
-	e.once.Do(func() { e.v, e.err = f() })
+	e.once.Do(func() {
+		// The prior is looked up inside the Once (not at install time):
+		// whichever caller wins the race to compute must see it.
+		var prev *priorCount
+		s.mu.Lock()
+		if p, ok := s.prior[key]; ok {
+			prev = &p
+		}
+		s.mu.Unlock()
+		e.v, e.state, e.err = f(prev)
+		if e.err == nil {
+			e.done.Store(true)
+		}
+	})
 	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
 		// A cancelled computation must not poison the memo: evict the
 		// entry (if it is still ours) so the next request recomputes.
@@ -372,20 +422,59 @@ func SessionStats() SessionCacheStats {
 // stale) one as needed.  NewSession is cheap (fingerprinting and all
 // materialization are lazy), so the whole lookup runs under the
 // registry lock.
+//
+// Replacing a stale session carries its settled advanceable counts into
+// the new one as priors (settledCounts), so a warm memo survives the
+// version bump: the next keyed count advances the prior by the appended
+// delta instead of recounting (delta.go).  Priors exist only inside the
+// owning session — a session dropped by LRU pressure or ReleaseSession
+// takes its priors with it, so advanceable memos never outlive their
+// structure's registry entry.
 func SessionFor(b *structure.Structure) *Session {
 	v := b.Version()
 	sessionMu.Lock()
 	defer sessionMu.Unlock()
 	sessionClock++
-	if e := sessions[b]; e != nil && e.s.version == v {
-		e.use = sessionClock
-		return e.s
-	} else if e == nil && len(sessions) >= sessionCacheCap {
+	if e := sessions[b]; e != nil {
+		if e.s.version == v {
+			e.use = sessionClock
+			return e.s
+		}
+		ns := NewSession(b)
+		ns.prior = e.s.settledCounts()
+		sessions[b] = &sessionEntry{s: ns, use: sessionClock}
+		return ns
+	}
+	if len(sessions) >= sessionCacheCap {
 		evictSessionsLocked()
 	}
 	ns := NewSession(b)
 	sessions[b] = &sessionEntry{s: ns, use: sessionClock}
 	return ns
+}
+
+// settledCounts collects the session's advanceable counts for adoption
+// by its successor: every prior it never got around to refreshing, then
+// every entry that finished successfully with delta state (stamped with
+// this session's snapshot).  Entries without state cannot be advanced
+// and are dropped.  Returns nil past the memo cap — a memo, not a
+// store.
+func (s *Session) settledCounts() map[countKey]priorCount {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[countKey]priorCount, len(s.prior)+len(s.counts))
+	for k, p := range s.prior {
+		out[k] = p
+	}
+	for k, e := range s.counts {
+		if e.done.Load() && e.state != nil {
+			out[k] = priorCount{v: e.v, snap: s.snap, state: e.state}
+		}
+	}
+	if len(out) == 0 || len(out) > sessionMemoCap {
+		return nil
+	}
+	return out
 }
 
 // ReleaseSession drops b's cached session (if any), releasing its

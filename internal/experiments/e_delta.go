@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/count"
+	"repro/internal/engine"
+	"repro/internal/parser"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// RunS2 measures incremental delta maintenance on an append stream: a
+// subscription (maintained count) is read after every append batch, once
+// with the engine's delta path enabled and once with it forced off (every
+// read is then a full recount, the pre-delta behaviour).  Both modes see
+// the identical batch sequence, so their per-version counts must agree
+// exactly; the final count is additionally replayed from scratch on a
+// fresh structure.  The measured loop is the serving layer's
+// append+read mix — registry append (parse, merge, version bump)
+// followed by a maintained-count read — so the speedup is what a
+// subscriber actually observes, not an engine-only microbenchmark.
+func RunS2(cfg Config) (*Table, error) {
+	n, density, steps, batchEdges := 320, 0.06, 48, 3
+	if cfg.Quick {
+		n, density, steps, batchEdges = 140, 0.08, 16, 3
+	}
+	base := workload.RandomStructure(workload.EdgeSig(), n, density, 20260807)
+	baseFacts, err := base.FactsString()
+	if err != nil {
+		return nil, err
+	}
+	tri := "tri(x,y,z) := E(x,y) & E(y,z) & E(z,x)"
+
+	// The identical batch stream for both modes: a few random edges per
+	// batch over the existing universe (duplicates occur and are
+	// dedup-ignored, exactly like production ingest).
+	rng := rand.New(rand.NewSource(7))
+	batches := make([]string, steps)
+	for i := range batches {
+		var sb strings.Builder
+		for j := 0; j < batchEdges; j++ {
+			fmt.Fprintf(&sb, "E(v%d,v%d). ", rng.Intn(n), rng.Intn(n))
+		}
+		batches[i] = sb.String()
+	}
+
+	ctx := context.Background()
+	type result struct {
+		elapsed time.Duration
+		counts  []*big.Int
+	}
+	run := func(deltaOn bool) (result, error) {
+		restore := engine.SetDeltaEnabled(deltaOn)
+		defer restore()
+		reg := serve.NewRegistry(0, 0)
+		if _, err := reg.CreateStructure("g", baseFacts, nil); err != nil {
+			return result{}, err
+		}
+		sub, err := reg.Subscribe(tri, "g", "")
+		if err != nil {
+			return result{}, err
+		}
+		// Materialize the maintained count outside the timed loop; the
+		// cold first read pays compile + full count in both modes.
+		if _, err := reg.SubscriptionCount(ctx, sub.ID); err != nil {
+			return result{}, err
+		}
+		res := result{counts: make([]*big.Int, 0, steps)}
+		start := time.Now()
+		for _, facts := range batches {
+			if _, err := reg.AppendFacts("g", facts); err != nil {
+				return result{}, err
+			}
+			info, err := reg.SubscriptionCount(ctx, sub.ID)
+			if err != nil {
+				return result{}, err
+			}
+			c, ok := new(big.Int).SetString(info.Count, 10)
+			if !ok {
+				return result{}, fmt.Errorf("malformed count %q", info.Count)
+			}
+			res.counts = append(res.counts, c)
+		}
+		res.elapsed = time.Since(start)
+		return res, nil
+	}
+
+	// Full-recount baseline first (cold caches penalize neither mode:
+	// each run builds its own registry and pays its own cold read).
+	advBefore := engine.DeltaStats()
+	full, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	delta, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	advAfter := engine.DeltaStats()
+
+	// Differential: the two modes must agree at every version, and the
+	// final count must equal a from-scratch recount of the replayed
+	// stream on a fresh structure.
+	agree := len(full.counts) == len(delta.counts)
+	for i := 0; agree && i < len(full.counts); i++ {
+		agree = full.counts[i].Cmp(delta.counts[i]) == 0
+	}
+	replaySrc := baseFacts + "\n"
+	for _, b := range batches {
+		replaySrc += b + "\n"
+	}
+	replayed, err := parser.ParseStructure(replaySrc, nil)
+	if err != nil {
+		return nil, err
+	}
+	q, err := parser.ParseQuery(tri)
+	if err != nil {
+		return nil, err
+	}
+	fresh, err := core.NewCounter(q, replayed.Signature(), count.EngineFPT)
+	if err != nil {
+		return nil, err
+	}
+	want, err := fresh.Count(replayed)
+	if err != nil {
+		return nil, err
+	}
+	replayOK := len(delta.counts) > 0 && delta.counts[len(delta.counts)-1].Cmp(want) == 0
+	advanced := advAfter.Advances - advBefore.Advances
+
+	t := &Table{
+		ID:      "S2",
+		Title:   "Delta maintenance — append-stream subscription reads vs full recounts",
+		Columns: []string{"mode", "steps", "elapsed", "µs/(append+read)", "speedup", "check"},
+		OK:      agree && replayOK && advanced > 0,
+	}
+	perStep := func(d time.Duration) string {
+		return fmt.Sprintf("%.0f", float64(d.Microseconds())/float64(steps))
+	}
+	speedup := float64(full.elapsed) / float64(delta.elapsed)
+	t.Rows = append(t.Rows,
+		[]string{"full recount (delta off)", fmt.Sprint(steps), fmtDur(full.elapsed), perStep(full.elapsed), "1.00x", yes(agree)},
+		[]string{"delta-maintained", fmt.Sprint(steps), fmtDur(delta.elapsed), perStep(delta.elapsed),
+			fmt.Sprintf("%.2fx", speedup), yes(agree && replayOK)},
+	)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d-vertex ER graph (density %.2f, %d base edges), triangle motif; %d append batches of %d random edges each",
+			n, density, base.NumTuples(), steps, batchEdges),
+		fmt.Sprintf("delta path advanced %d memoized counts, %d threshold fallbacks; both modes produced identical counts at every version and the final count equals a from-scratch replay",
+			advanced, advAfter.FullRecounts-advBefore.FullRecounts),
+		"each step is one atomic registry append (parse + dedup merge + version bump) plus one maintained-count read; the delta mode advances the warm memo by the appended rows (engine/delta.go), the baseline recounts the whole join",
+	)
+	return t, nil
+}

@@ -132,6 +132,7 @@ func All() []Spec {
 		{"E9", "Theorem 3.2 — trichotomy classification of query families", RunE9},
 		{"E10", "FPT vs XP — time as the parameter (query size) grows", RunE10},
 		{"S1", "Service throughput — epserved HTTP counting under concurrent clients", RunS1},
+		{"S2", "Delta maintenance — append-stream subscription reads vs full recounts", RunS2},
 		{"A1", "Ablation — counting engines on one workload", RunA1},
 		{"A2", "Ablation — φ* with vs without cancellation", RunA2},
 		{"A3", "Ablation — normalization (UCQ minimization) on vs off", RunA3},

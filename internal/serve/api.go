@@ -36,13 +36,20 @@ type AppendFactsRequest struct {
 }
 
 // StructureInfo describes one registered structure.  Version increases
-// with every mutation; counts report the version they executed against,
-// so clients can correlate answers with ingest checkpoints.
+// only with every *effective* mutation — a fully-duplicate append batch
+// inserts nothing and leaves the version (and therefore every cached
+// session and memoized count) untouched.  Counts report the version
+// they executed against, so clients can correlate answers with ingest
+// checkpoints.
 type StructureInfo struct {
 	Name    string `json:"name"`
 	Size    int    `json:"size"`    // universe size
 	Tuples  int    `json:"tuples"`  // total tuples across relations
-	Version uint64 `json:"version"` // mutation counter
+	Version uint64 `json:"version"` // effective-mutation counter
+	// Inserted is the number of tuples the append producing this
+	// response actually inserted (dedup-aware: duplicates in the batch
+	// or already present do not count).  Zero outside append responses.
+	Inserted int `json:"inserted,omitempty"`
 }
 
 // StructuresResponse lists the registry.
@@ -91,6 +98,38 @@ type CountBatchResponse struct {
 	ElapsedUS int64    `json:"elapsed_us"`
 }
 
+// SubscribeRequest registers a maintained count: a query bound to a
+// registered structure.  Registration is cheap (parse + compile, no
+// count); the maintained count materializes lazily on the first
+// subscription read and is then advanced across append batches by the
+// engine's incremental delta path instead of being recomputed.
+type SubscribeRequest struct {
+	Query     string `json:"query"`
+	Structure string `json:"structure"`
+	// Engine selects the counting engine ("fpt" when empty).
+	Engine string `json:"engine,omitempty"`
+}
+
+// SubscriptionInfo describes one subscription.  Count (a decimal
+// string) and Version are set on subscription reads: Count is the
+// maintained count at Version, the structure's version at read time.
+// On registration and in listings they reflect the last maintained
+// state (absent before the first read).
+type SubscriptionInfo struct {
+	ID        string `json:"id"`
+	Query     string `json:"query"`
+	Structure string `json:"structure"`
+	Engine    string `json:"engine"`
+	Count     string `json:"count,omitempty"`
+	Version   uint64 `json:"version,omitempty"`
+	ElapsedUS int64  `json:"elapsed_us,omitempty"`
+}
+
+// SubscriptionsResponse lists the registered subscriptions.
+type SubscriptionsResponse struct {
+	Subscriptions []SubscriptionInfo `json:"subscriptions"`
+}
+
 // QueryStats is one cached query's compile- and run-time telemetry.
 type QueryStats struct {
 	// Query is the source text the counter was registered under.
@@ -125,8 +164,9 @@ type AdmissionStats struct {
 }
 
 // StatsResponse is the /stats snapshot: admission telemetry, the
-// per-query counter statistics, the structure registry, and the
-// process-wide engine session registry.
+// per-query counter statistics, the structure registry, the
+// process-wide engine session registry, the incremental-maintenance
+// counters, and the number of registered subscriptions.
 type StatsResponse struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
 	Admission     AdmissionStats           `json:"admission"`
@@ -134,6 +174,8 @@ type StatsResponse struct {
 	Queries       []QueryStats             `json:"queries"`
 	Structures    []StructureInfo          `json:"structures"`
 	Sessions      engine.SessionCacheStats `json:"sessions"`
+	Delta         engine.DeltaCounters     `json:"delta"`
+	Subscriptions int                      `json:"subscriptions"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response.

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// Bench-smoke regression guard (CI: make bench-smoke): on an append
+// stream with a maintained subscription count, the delta-maintained mix
+// (registry append + subscription read per step) must beat the
+// full-recount baseline by at least 2x — a same-machine relative bound
+// that catches regressions in the incremental path (engine/delta.go)
+// without depending on absolute CI speed.  Gated behind EPCQ_BENCH_SMOKE
+// so the normal test run stays fast.
+func TestBenchSmokeDeltaAppendCountMix(t *testing.T) {
+	if os.Getenv("EPCQ_BENCH_SMOKE") == "" {
+		t.Skip("set EPCQ_BENCH_SMOKE=1 to run the bench smoke guard")
+	}
+	const n, steps, batchEdges = 260, 24, 3
+	base := workload.RandomStructure(workload.EdgeSig(), n, 0.06, 11)
+	baseFacts, err := base.FactsString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	batches := make([]string, steps)
+	for i := range batches {
+		var sb strings.Builder
+		for j := 0; j < batchEdges; j++ {
+			fmt.Fprintf(&sb, "E(v%d,v%d). ", rng.Intn(n), rng.Intn(n))
+		}
+		batches[i] = sb.String()
+	}
+
+	ctx := context.Background()
+	run := func(deltaOn bool) (time.Duration, *big.Int) {
+		restore := engine.SetDeltaEnabled(deltaOn)
+		defer restore()
+		reg := NewRegistry(0, 1)
+		if _, err := reg.CreateStructure("g", baseFacts, nil); err != nil {
+			t.Fatal(err)
+		}
+		sub, err := reg.Subscribe("tri(x,y,z) := E(x,y) & E(y,z) & E(z,x)", "g", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reg.SubscriptionCount(ctx, sub.ID); err != nil { // cold read outside the timing
+			t.Fatal(err)
+		}
+		var last *big.Int
+		start := time.Now()
+		for _, facts := range batches {
+			if _, err := reg.AppendFacts("g", facts); err != nil {
+				t.Fatal(err)
+			}
+			info, err := reg.SubscriptionCount(ctx, sub.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if last, _ = new(big.Int).SetString(info.Count, 10); last == nil {
+				t.Fatalf("malformed count %q", info.Count)
+			}
+		}
+		return time.Since(start), last
+	}
+
+	best := func(deltaOn bool) (time.Duration, *big.Int) {
+		d, c := run(deltaOn)
+		for r := 0; r < 2; r++ {
+			if d2, c2 := run(deltaOn); d2 < d {
+				if c2.Cmp(c) != 0 {
+					t.Fatalf("nondeterministic final count: %v vs %v", c2, c)
+				}
+				d = d2
+			}
+		}
+		return d, c
+	}
+	full, wantCount := best(false)
+	delta, gotCount := best(true)
+	if gotCount.Cmp(wantCount) != 0 {
+		t.Fatalf("delta-maintained final count %v != full-recount final count %v", gotCount, wantCount)
+	}
+	t.Logf("bench smoke: append+read mix full-recount %v, delta-maintained %v (%.2fx)",
+		full, delta, float64(full)/float64(delta))
+	if 2*delta > full {
+		t.Fatalf("delta maintenance regressed: %v not ≥2x faster than full recount %v", delta, full)
+	}
+}

@@ -138,6 +138,48 @@ func (c *Client) CountBatchWith(ctx context.Context, req CountBatchRequest) ([]*
 	return out, resp, nil
 }
 
+// Subscribe registers a maintained count for (query, structure) and
+// returns its metadata.  The count materializes on the first
+// SubscriptionCount read and is maintained incrementally afterwards.
+func (c *Client) Subscribe(ctx context.Context, query, structureName string) (SubscriptionInfo, error) {
+	return c.SubscribeWith(ctx, SubscribeRequest{Query: query, Structure: structureName})
+}
+
+// SubscribeWith is Subscribe with full request control (engine).
+func (c *Client) SubscribeWith(ctx context.Context, req SubscribeRequest) (SubscriptionInfo, error) {
+	var info SubscriptionInfo
+	err := c.do(ctx, http.MethodPost, "/subscriptions", req, &info)
+	return info, err
+}
+
+// SubscriptionCount reads a subscription's maintained count at the
+// structure's current version (updating it first if the structure moved
+// since the last read).  The big.Int is parsed from the decimal wire
+// string.
+func (c *Client) SubscriptionCount(ctx context.Context, id string) (*big.Int, SubscriptionInfo, error) {
+	var info SubscriptionInfo
+	if err := c.do(ctx, http.MethodGet, "/subscriptions/"+id, nil, &info); err != nil {
+		return nil, info, err
+	}
+	v, ok := new(big.Int).SetString(info.Count, 10)
+	if !ok {
+		return nil, info, fmt.Errorf("epserved: malformed count %q", info.Count)
+	}
+	return v, info, nil
+}
+
+// Subscriptions lists the registered subscriptions.
+func (c *Client) Subscriptions(ctx context.Context) ([]SubscriptionInfo, error) {
+	var resp SubscriptionsResponse
+	err := c.do(ctx, http.MethodGet, "/subscriptions", nil, &resp)
+	return resp.Subscriptions, err
+}
+
+// Unsubscribe removes a subscription.
+func (c *Client) Unsubscribe(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/subscriptions/"+id, nil, nil)
+}
+
 // Stats fetches the server's telemetry snapshot.
 func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
 	var resp StatsResponse

@@ -15,11 +15,27 @@
 //     columnar store's incremental posting lists (ingest cost is
 //     proportional to the delta) and bump the structure version, which
 //     invalidates cached engine sessions; the next count
-//     re-materializes against the new version.  The registry also
+//     re-materializes against the new version — or, for a warm
+//     delta-maintainable memo, is advanced by the appended rows through
+//     the engine's incremental delta path (the append response's
+//     Inserted field reports the dedup-aware effective delta, and a
+//     fully-duplicate batch keeps the version, leaving caches valid).
+//     The registry also
 //     caches compiled queries per (source text, engine, signature);
 //     counting-equivalent queries — even textually different ones from
 //     different clients — share engine plans underneath through the
 //     fingerprint-keyed plan cache.
+//
+//   - Subscriptions (subscription.go): maintained counts.  POST
+//     /subscriptions binds a query to a registered structure (compiling
+//     the counter, computing nothing); the first GET
+//     /subscriptions/{id} materializes the count and later reads either
+//     answer from the cached (count, version) pair when the structure
+//     is unchanged or re-count under the structure's read lock — riding
+//     the engine's delta path when the plan allows — and re-stamp at
+//     the observed version.  A differential test pins every maintained
+//     count to a sequential replay of the append history at its
+//     version.
 //
 //   - Server: the HTTP endpoints.  POST /structures ingests, POST
 //     /structures/{name}/facts appends, POST /count and /countBatch

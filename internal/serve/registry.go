@@ -58,6 +58,10 @@ type Registry struct {
 	mu      sync.RWMutex
 	structs map[string]*structEntry
 	queries map[queryKey]*core.Counter
+	// subs holds the registered subscriptions (maintained counts; see
+	// subscription.go), keyed by id; subSeq feeds id allocation.
+	subs   map[string]*subEntry
+	subSeq uint64
 
 	// queryCap bounds the counter cache; reaching it wipes the cache
 	// wholesale (a memo, not a store — entries rebuild on demand).
@@ -76,6 +80,7 @@ func NewRegistry(queryCap, workers int) *Registry {
 	return &Registry{
 		structs:  make(map[string]*structEntry),
 		queries:  make(map[queryKey]*core.Counter),
+		subs:     make(map[string]*subEntry),
 		queryCap: queryCap,
 		workers:  workers,
 	}
@@ -127,11 +132,16 @@ func (r *Registry) entry(name string) (*structEntry, error) {
 // AppendFacts parses facts over the structure's signature and merges
 // them in under the write lock: new element names extend the universe,
 // duplicate tuples are ignored.  The whole batch lands in one critical
-// section, so concurrent counts see it atomically; the structure's
-// version bump invalidates cached engine sessions, and the next count
-// re-materializes only what changed structures need (the columnar
-// store's posting lists are maintained incrementally — ingest cost is
-// proportional to the appended facts, not to the structure).
+// section, so concurrent counts see it atomically; the returned info's
+// Inserted reports how many tuples the batch actually added
+// (dedup-aware), and the version bumps only when that delta is
+// non-empty — a fully-duplicate batch leaves cached sessions and
+// memoized counts valid.  An effective append invalidates sessions via
+// the version bump; the next count against a warm, delta-maintainable
+// memo is then advanced by the appended rows rather than recomputed
+// (the columnar store's posting lists are maintained incrementally too,
+// so ingest cost is proportional to the appended facts, not to the
+// structure).
 func (r *Registry) AppendFacts(name, facts string) (StructureInfo, error) {
 	e, err := r.entry(name)
 	if err != nil {
@@ -148,19 +158,30 @@ func (r *Registry) AppendFacts(name, facts string) (StructureInfo, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if err := mergeInto(e.b, delta); err != nil {
+	inserted, err := mergeInto(e.b, delta)
+	if err != nil {
 		return StructureInfo{}, err
 	}
-	return StructureInfo{Name: name, Size: e.b.Size(), Tuples: e.b.NumTuples(), Version: e.b.Version()}, nil
+	return StructureInfo{
+		Name:     name,
+		Size:     e.b.Size(),
+		Tuples:   e.b.NumTuples(),
+		Version:  e.b.Version(),
+		Inserted: inserted,
+	}, nil
 }
 
 // mergeInto adds every element and tuple of delta into dst (by element
-// name; dst's signature must cover delta's relations).
-func mergeInto(dst, delta *structure.Structure) error {
+// name; dst's signature must cover delta's relations) and returns the
+// number of tuples actually inserted — duplicates, whether inside the
+// batch or against dst, add nothing.
+func mergeInto(dst, delta *structure.Structure) (int, error) {
 	for _, name := range delta.ElemNames() {
 		dst.EnsureElem(name)
 	}
+	inserted := 0
 	for _, rel := range delta.Signature().Rels() {
+		before := dst.Rel(rel.Name).Len()
 		names := make([]string, rel.Arity)
 		var err error
 		delta.ForEachTuple(rel.Name, func(t []int) bool {
@@ -174,10 +195,11 @@ func mergeInto(dst, delta *structure.Structure) error {
 			return true
 		})
 		if err != nil {
-			return err
+			return inserted, err
 		}
+		inserted += dst.Rel(rel.Name).Len() - before
 	}
-	return nil
+	return inserted, nil
 }
 
 // StructureInfo snapshots one structure's metadata.

@@ -85,6 +85,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /structures/{name}/facts", s.handleAppendFacts)
 	s.mux.HandleFunc("POST /count", s.handleCount)
 	s.mux.HandleFunc("POST /countBatch", s.handleCountBatch)
+	s.mux.HandleFunc("POST /subscriptions", s.handleSubscribe)
+	s.mux.HandleFunc("GET /subscriptions", s.handleListSubscriptions)
+	s.mux.HandleFunc("GET /subscriptions/{id}", s.handleSubscriptionCount)
+	s.mux.HandleFunc("DELETE /subscriptions/{id}", s.handleUnsubscribe)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
@@ -370,6 +374,61 @@ func (s *Server) handleCountBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	var req SubscribeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	info, err := s.reg.Subscribe(req.Query, req.Structure, req.Engine)
+	if err != nil {
+		status := http.StatusBadRequest
+		if _, lookupErr := s.reg.entry(req.Structure); lookupErr != nil {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleListSubscriptions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, SubscriptionsResponse{Subscriptions: s.reg.Subscriptions()})
+}
+
+// handleSubscriptionCount is a counting request (the lazy maintenance
+// may run a delta advance or a full count), so it passes through
+// admission control and the per-request deadline like /count.
+func (s *Server) handleSubscriptionCount(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.reg.subscription(id); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestCtx(r, 0)
+	defer cancel()
+	start := time.Now()
+	info, err := s.reg.SubscriptionCount(ctx, id)
+	if err != nil {
+		writeError(w, s.countStatus(err), "%v", err)
+		return
+	}
+	info.ElapsedUS = time.Since(start).Microseconds()
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Unsubscribe(r.PathValue("id")); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
@@ -380,10 +439,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Rejected:    s.rejected.Load(),
 			Deadline:    s.deadlines.Load(),
 		},
-		Workers:    engine.EffectiveWorkers(s.cfg.Workers),
-		Queries:    s.reg.QueryStats(),
-		Structures: s.reg.Structures(),
-		Sessions:   engine.SessionStats(),
+		Workers:       engine.EffectiveWorkers(s.cfg.Workers),
+		Queries:       s.reg.QueryStats(),
+		Structures:    s.reg.Structures(),
+		Sessions:      engine.SessionStats(),
+		Delta:         engine.DeltaStats(),
+		Subscriptions: s.reg.NumSubscriptions(),
 	})
 }
 

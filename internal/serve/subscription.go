@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// Subscriptions are the serving layer's maintained counts: a query
+// bound to a registered structure, whose count is kept current across
+// append batches.  Registration compiles the counter but computes
+// nothing; the count materializes lazily on the first read and is then
+// *advanced* on later reads — the counter's keyed counts ride the
+// engine's incremental delta path (engine/delta.go), so a read after an
+// append batch costs the delta joins, not a recount, while an unchanged
+// version is answered from the subscription's own cached pair without
+// touching the engine at all.
+
+// subEntry is one registered subscription plus its maintained state.
+type subEntry struct {
+	id        string
+	query     string
+	engName   engine.Name
+	structure string
+	e         *structEntry
+	c         *core.Counter
+
+	// mu guards the maintained pair; it nests inside the structure's
+	// read lock (reads hold e.mu.RLock around the version check and
+	// count) and nothing acquires locks while holding it.
+	mu      sync.Mutex
+	count   *big.Int
+	version uint64
+	valid   bool
+}
+
+// snapshot returns the entry's wire form with the last maintained
+// state (if any) under the entry lock.
+func (se *subEntry) snapshot() SubscriptionInfo {
+	info := SubscriptionInfo{
+		ID:        se.id,
+		Query:     se.query,
+		Structure: se.structure,
+		Engine:    se.engName.String(),
+	}
+	se.mu.Lock()
+	if se.valid {
+		info.Count = se.count.String()
+		info.Version = se.version
+	}
+	se.mu.Unlock()
+	return info
+}
+
+// Subscribe registers a maintained count for (query, structure).  The
+// counter compiles eagerly (errors surface here, not on read); the
+// count itself is maintained lazily from the first read on.
+func (r *Registry) Subscribe(query, structureName, engineName string) (SubscriptionInfo, error) {
+	eng, err := parseEngine(engineName)
+	if err != nil {
+		return SubscriptionInfo{}, err
+	}
+	e, err := r.entry(structureName)
+	if err != nil {
+		return SubscriptionInfo{}, err
+	}
+	e.mu.RLock()
+	sig := e.b.Signature()
+	e.mu.RUnlock()
+	c, err := r.counterFor(query, eng, sig)
+	if err != nil {
+		return SubscriptionInfo{}, err
+	}
+	r.mu.Lock()
+	r.subSeq++
+	se := &subEntry{
+		id:        fmt.Sprintf("sub-%d", r.subSeq),
+		query:     query,
+		engName:   eng,
+		structure: structureName,
+		e:         e,
+		c:         c,
+	}
+	r.subs[se.id] = se
+	r.mu.Unlock()
+	return se.snapshot(), nil
+}
+
+// subscription resolves a subscription id.
+func (r *Registry) subscription(id string) (*subEntry, error) {
+	r.mu.RLock()
+	se := r.subs[id]
+	r.mu.RUnlock()
+	if se == nil {
+		return nil, fmt.Errorf("unknown subscription %q", id)
+	}
+	return se, nil
+}
+
+// SubscriptionCount returns the subscription's maintained count at the
+// structure's current version, updating it first if the structure moved
+// since the last read.  The whole read runs under the structure's read
+// lock, so the (count, version) pair is consistent with one version
+// boundary; an unchanged version is a pure cache hit, and an advanced
+// one is maintained through the engine's delta path when the plan
+// allows it.
+func (r *Registry) SubscriptionCount(ctx context.Context, id string) (SubscriptionInfo, error) {
+	se, err := r.subscription(id)
+	if err != nil {
+		return SubscriptionInfo{}, err
+	}
+	se.e.mu.RLock()
+	defer se.e.mu.RUnlock()
+	v := se.e.b.Version()
+	se.mu.Lock()
+	if se.valid && se.version == v {
+		defer se.mu.Unlock()
+		return SubscriptionInfo{
+			ID:        se.id,
+			Query:     se.query,
+			Structure: se.structure,
+			Engine:    se.engName.String(),
+			Count:     se.count.String(),
+			Version:   se.version,
+		}, nil
+	}
+	se.mu.Unlock()
+	cnt, err := se.c.CountCtx(ctx, se.e.b)
+	if err != nil {
+		return SubscriptionInfo{}, err
+	}
+	se.mu.Lock()
+	se.count, se.version, se.valid = cnt, v, true
+	se.mu.Unlock()
+	return SubscriptionInfo{
+		ID:        se.id,
+		Query:     se.query,
+		Structure: se.structure,
+		Engine:    se.engName.String(),
+		Count:     cnt.String(),
+		Version:   v,
+	}, nil
+}
+
+// Unsubscribe removes a subscription.
+func (r *Registry) Unsubscribe(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.subs[id]; !ok {
+		return fmt.Errorf("unknown subscription %q", id)
+	}
+	delete(r.subs, id)
+	return nil
+}
+
+// Subscriptions lists every registered subscription with its last
+// maintained state, sorted by id.
+func (r *Registry) Subscriptions() []SubscriptionInfo {
+	r.mu.RLock()
+	entries := make([]*subEntry, 0, len(r.subs))
+	for _, se := range r.subs {
+		entries = append(entries, se)
+	}
+	r.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	out := make([]SubscriptionInfo, 0, len(entries))
+	for _, se := range entries {
+		out = append(out, se.snapshot())
+	}
+	return out
+}
+
+// NumSubscriptions returns the number of registered subscriptions.
+func (r *Registry) NumSubscriptions() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.subs)
+}

@@ -1,0 +1,270 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/parser"
+)
+
+// The subscription lifecycle over the wire: register, lazy first read,
+// maintained read after an append, cache-hit read after a duplicate
+// append, list, unsubscribe.
+func TestSubscriptionLifecycleHTTP(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	if _, err := c.CreateStructure(ctx, "g",
+		"universe a, b, c.\nE(a,b). E(b,c). E(c,a).", nil); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.Subscribe(ctx, "tri(x,y,z) := E(x,y) & E(y,z) & E(z,x)", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.ID == "" || sub.Count != "" {
+		t.Fatalf("registration = %+v, want an id and no maintained count yet", sub)
+	}
+
+	v1, info1, err := c.SubscriptionCount(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Cmp(big.NewInt(3)) != 0 {
+		t.Fatalf("initial maintained count = %v, want 3", v1)
+	}
+
+	// An effective append must advance the maintained count and its
+	// version stamp.
+	appendInfo, err := c.AppendFacts(ctx, "g", "E(a,c). E(c,b). E(b,a).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if appendInfo.Inserted != 3 {
+		t.Fatalf("append inserted = %d, want 3", appendInfo.Inserted)
+	}
+	v2, info2, err := c.SubscriptionCount(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Cmp(big.NewInt(6)) != 0 {
+		t.Fatalf("maintained count after append = %v, want 6", v2)
+	}
+	if info2.Version <= info1.Version {
+		t.Fatalf("maintained version did not advance: %d -> %d", info1.Version, info2.Version)
+	}
+
+	// A fully-duplicate batch inserts nothing, keeps the version, and
+	// the next read is a pure cache hit at the same version.
+	dupInfo, err := c.AppendFacts(ctx, "g", "E(a,b). E(b,c).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dupInfo.Inserted != 0 || dupInfo.Version != info2.Version {
+		t.Fatalf("duplicate batch: inserted %d at version %d, want 0 at version %d",
+			dupInfo.Inserted, dupInfo.Version, info2.Version)
+	}
+	v3, info3, err := c.SubscriptionCount(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3.Cmp(v2) != 0 || info3.Version != info2.Version {
+		t.Fatalf("read after duplicate batch = %v@%d, want %v@%d", v3, info3.Version, v2, info2.Version)
+	}
+
+	subs, err := c.Subscriptions(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 1 || subs[0].ID != sub.ID || subs[0].Count != v3.String() {
+		t.Fatalf("subscription listing = %+v", subs)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Subscriptions != 1 {
+		t.Fatalf("stats subscriptions = %d, want 1", st.Subscriptions)
+	}
+	if err := c.Unsubscribe(ctx, sub.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.SubscriptionCount(ctx, sub.ID); err == nil {
+		t.Fatal("read of an unsubscribed id succeeded")
+	}
+	if err := c.Unsubscribe(ctx, sub.ID); err == nil {
+		t.Fatal("double unsubscribe succeeded")
+	}
+}
+
+// Delta-maintained subscription counts must equal full recounts of the
+// replayed append history at every observed version, for every engine,
+// with readers racing the writer (run under -race this is the
+// incremental-maintenance safety net the serving layer relies on).
+func TestSubscriptionDeltaDifferential(t *testing.T) {
+	restore := engine.SetDeltaThresholds(1<<30, 100) // always take the delta path
+	defer restore()
+	const query = "tri(x,y,z) := E(x,y) & E(y,z) & E(z,x)"
+	engines := []engine.Name{engine.FPT, engine.FPTNoCore, engine.Projection}
+
+	// A randomized append stream over a growing vertex pool; duplicate
+	// edges occur naturally and whole-batch duplicates keep the version.
+	rng := rand.New(rand.NewSource(20260807))
+	initial := "universe v0, v1, v2, v3, v4, v5.\nE(v0,v1). E(v1,v2). E(v2,v0).\n"
+	nVerts := 6
+	const nAppends = 24
+	batches := make([]string, nAppends)
+	for i := range batches {
+		var sb strings.Builder
+		if i%5 == 4 {
+			sb.WriteString(fmt.Sprintf("E(v%d,v%d). ", nVerts, rng.Intn(nVerts)))
+			nVerts++
+		}
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			sb.WriteString(fmt.Sprintf("E(v%d,v%d). ", rng.Intn(nVerts), rng.Intn(nVerts)))
+		}
+		batches[i] = sb.String()
+	}
+
+	reg := NewRegistry(0, 1)
+	if _, err := reg.CreateStructure("g", initial, nil); err != nil {
+		t.Fatal(err)
+	}
+	subIDs := make([]string, len(engines))
+	for i, eng := range engines {
+		sub, err := reg.Subscribe(query, "g", eng.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		subIDs[i] = sub.ID
+	}
+	e, err := reg.entry("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type observation struct {
+		engine  engine.Name
+		version uint64
+		count   *big.Int
+	}
+	var (
+		mu          sync.Mutex
+		checkpoints = map[uint64]int{e.b.Version(): 0} // version → latest prefix
+		obs         []observation
+	)
+	advBefore := engine.DeltaStats().Advances
+
+	read := func(i int) bool {
+		info, err := reg.SubscriptionCount(context.Background(), subIDs[i])
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		count, ok := new(big.Int).SetString(info.Count, 10)
+		if !ok {
+			t.Errorf("malformed maintained count %q", info.Count)
+			return false
+		}
+		mu.Lock()
+		obs = append(obs, observation{engine: engines[i], version: info.Version, count: count})
+		mu.Unlock()
+		return true
+	}
+	// Materialize every maintained count at the base version first, so
+	// the appends below genuinely advance warm state rather than trigger
+	// first-time full counts.
+	for i := range engines {
+		if !read(i) {
+			return
+		}
+	}
+
+	writerDone := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer: one atomic batch at a time
+		defer wg.Done()
+		defer close(writerDone)
+		for i, facts := range batches {
+			info, err := reg.AppendFacts("g", facts)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			checkpoints[info.Version] = i + 1
+			mu.Unlock()
+		}
+	}()
+	for i := range engines {
+		wg.Add(1)
+		go func(i int) { // reader: maintained counts racing the writer
+			defer wg.Done()
+			for {
+				select {
+				case <-writerDone:
+					read(i) // one guaranteed read at the final version
+					return
+				default:
+					if !read(i) {
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Sequential replay: rebuild each observed version's structure from
+	// the batch prefix and recount from scratch.  Equal versions always
+	// denote equal fact sets (ineffective batches do not bump), so the
+	// latest prefix per version is a valid witness.
+	want := make(map[uint64]*big.Int)
+	for _, o := range obs {
+		w, ok := want[o.version]
+		if !ok {
+			prefix, known := checkpoints[o.version]
+			if !known {
+				t.Fatalf("observed version %d matches no append boundary — a torn batch", o.version)
+			}
+			src := initial
+			for i := 0; i < prefix; i++ {
+				src += batches[i] + "\n"
+			}
+			b, err := parser.ParseStructure(src, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := reg.counterFor(query, engine.Brute, b.Signature())
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err = fresh.Count(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[o.version] = w
+		}
+		if o.count.Cmp(w) != 0 {
+			t.Fatalf("engine %v at version %d: maintained %v != sequential replay %v",
+				o.engine, o.version, o.count, w)
+		}
+	}
+	if engine.DeltaStats().Advances == advBefore {
+		t.Fatal("subscription stream never exercised the delta advance path")
+	}
+}

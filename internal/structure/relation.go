@@ -104,12 +104,32 @@ func (r *Relation) Col(pos int) []int32 {
 // to fn is a single reused buffer: callers must copy it to retain it.
 // Returning false stops the iteration.
 func (r *Relation) ForEachTuple(fn func(t []int) bool) {
-	if r == nil || r.Len() == 0 {
+	if r == nil {
+		return
+	}
+	r.ForEachTupleIn(0, r.Len(), fn)
+}
+
+// ForEachTupleIn visits the tuples in rows [lo, hi) in insertion order,
+// through a reused row buffer (copy to retain).  Rows are append-only,
+// so [oldLen, Len()) is exactly the set of tuples appended since an
+// earlier observation of oldLen — the iteration DeltaView is built on.
+// Returning false stops early.
+func (r *Relation) ForEachTupleIn(lo, hi int, fn func(t []int) bool) {
+	if r == nil || r.arity == 0 {
+		return
+	}
+	if n := r.Len(); hi > n {
+		hi = n
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= hi {
 		return
 	}
 	buf := make([]int, r.arity)
-	n := r.Len()
-	for i := 0; i < n; i++ {
+	for i := lo; i < hi; i++ {
 		for p := range r.cols {
 			buf[p] = int(r.cols[p][i])
 		}

@@ -107,9 +107,13 @@ func (s *Structure) AddElem(name string) (int, error) {
 	return i, nil
 }
 
-// Version returns a counter that increases with every mutation (element or
-// tuple addition).  Two calls returning the same value bracket a span in
-// which the structure was not modified.
+// Version returns a counter that increases with every effective mutation
+// (element or tuple addition).  The counter bumps only when the mutation
+// actually changed the structure: adding a duplicate tuple or ensuring an
+// existing element is a no-op and leaves the version untouched, so a
+// fully-duplicate append batch never invalidates memoized counts.  Two
+// calls returning the same value bracket a span in which the structure
+// was not modified.
 func (s *Structure) Version() uint64 { return s.version }
 
 // EnsureElem returns the index of the named element, adding it if absent.
