@@ -12,6 +12,7 @@
 //	epbench -list            # list experiments
 //	epbench -json out/       # also write machine-readable BENCH_<id>.json files
 //	epbench -workers 4       # cap the parallel executor's worker pool
+//	epbench -cores 1,2,4,8   # core budgets for the P1 sweep
 //	epbench -cpuprofile p.pb # write a pprof CPU profile of the run
 package main
 
@@ -22,6 +23,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/engine"
@@ -36,6 +39,7 @@ func main() {
 		csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
 		jsonDir    = flag.String("json", "", "also write each table as BENCH_<id>.json into this directory")
 		workers    = flag.Int("workers", 0, "worker pool size for the parallel executor and batch pools (0 = EPCQ_WORKERS, else GOMAXPROCS)")
+		coresFlag  = flag.String("cores", "", "comma-separated core budgets for the P1 sweep (e.g. 1,2,4,8)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -60,9 +64,14 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	cores, err := parseCores(*coresFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "epbench:", err)
+		os.Exit(2)
+	}
 	// Profiles must flush on every exit path, so the suite reports its
 	// exit code instead of calling os.Exit mid-run.
-	code := runSuite(*quick, *runID, *csvDir, *jsonDir)
+	code := runSuite(*quick, *runID, *csvDir, *jsonDir, cores)
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -85,8 +94,24 @@ func writeHeapProfile(path string) {
 	}
 }
 
-func runSuite(quick bool, runID, csvDir, jsonDir string) int {
-	cfg := experiments.Config{Quick: quick}
+// parseCores turns the -cores flag ("1,2,4,8") into a budget list.
+func parseCores(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var cores []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -cores entry %q (want positive integers)", part)
+		}
+		cores = append(cores, n)
+	}
+	return cores, nil
+}
+
+func runSuite(quick bool, runID, csvDir, jsonDir string, cores []int) int {
+	cfg := experiments.Config{Quick: quick, Cores: cores}
 	specs := experiments.All()
 	if runID != "" {
 		s, err := experiments.Get(runID)

@@ -259,22 +259,76 @@ func (c *Counter) CountBatchCtx(ctx context.Context, bs []*structure.Structure) 
 // sum over the unique φ⁻af counting classes — executed through the
 // session's per-fingerprint count memo.
 func (c *Counter) countWith(ctx context.Context, b *structure.Structure, workers int) (*big.Int, error) {
+	return c.countIntoWith(ctx, b, workers, new(big.Int))
+}
+
+// mulScratch pools the big.Int temporaries of the signed-sum loop so a
+// memo-warm count allocates nothing for the coeff×count products.
+var mulScratch = sync.Pool{New: func() any { return new(big.Int) }}
+
+// countIntoWith is countWith accumulating into caller-owned dst (which
+// is returned).  On the memo-warm path — every term's fingerprint
+// settled in the session — it performs zero heap allocations: term
+// counts come out of the session memo by pointer, the per-term product
+// uses a pooled temporary, and dst absorbs the sum in place.
+func (c *Counter) countIntoWith(ctx context.Context, b *structure.Structure, workers int, dst *big.Int) (*big.Int, error) {
 	sess, err := c.sessionFor(b)
 	if err != nil {
 		return nil, err
 	}
 	if c.sentenceHolds(sess) {
-		return c.Compiled.MaxCount(b), nil
+		return dst.Set(c.Compiled.MaxCount(b)), nil
 	}
-	total := new(big.Int)
+	dst.SetInt64(0)
+	tmp := mulScratch.Get().(*big.Int)
 	for i := range c.terms {
 		v, err := c.termCountAt(ctx, i, sess, workers)
 		if err != nil {
+			mulScratch.Put(tmp)
 			return nil, err
 		}
-		total.Add(total, new(big.Int).Mul(c.terms[i].coeff, v))
+		tmp.Mul(c.terms[i].coeff, v)
+		dst.Add(dst, tmp)
 	}
-	return total, nil
+	mulScratch.Put(tmp)
+	return dst, nil
+}
+
+// CountInto is Count accumulating into caller-owned dst, which is
+// returned.  When every term of the query is memo-warm in b's session
+// (the steady state of serving workloads), the call performs zero heap
+// allocations; see CountBatchInto for the batch form.
+func (c *Counter) CountInto(ctx context.Context, b *structure.Structure, dst *big.Int) (*big.Int, error) {
+	return c.countIntoWith(ctx, b, c.curWorkers(), dst)
+}
+
+// CountBatchInto is CountBatch writing into caller-owned out (len(out)
+// must equal len(bs); out[i] must be non-nil and is overwritten in
+// place).  With an effective worker budget of 1 the batch runs inline on
+// the caller's goroutine, so a fully memo-warm batch is allocation-free
+// end to end; wider budgets fan out like CountBatch.
+func (c *Counter) CountBatchInto(ctx context.Context, bs []*structure.Structure, out []*big.Int) error {
+	if len(out) != len(bs) {
+		return fmt.Errorf("core: CountBatchInto out length %d != batch length %d", len(out), len(bs))
+	}
+	outer, inner := c.splitWorkers(len(bs))
+	if outer == 1 {
+		for i := range bs {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if _, err := c.countIntoWith(ctx, bs[i], inner, out[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return engine.RunBoundedCtx(ctx, len(bs), outer, func(i int) error {
+		_, err := c.countIntoWith(ctx, bs[i], inner, out[i])
+		return err
+	})
 }
 
 // termCountAt evaluates the i-th unique term inside a session with the

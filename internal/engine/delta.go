@@ -145,6 +145,9 @@ func (pl *fptPlan) countStateIn(ctx context.Context, s *Session, workers int) (*
 		v, err := pl.countIn(ctx, s, workers)
 		return v, nil, err
 	}
+	if s.acquirePin() {
+		defer s.releasePin()
+	}
 	if !pl.sig.Equal(s.B.Signature()) {
 		return nil, nil, errSignature(pl.p, s.B)
 	}
@@ -189,6 +192,9 @@ func (pl *fptPlan) countAdvanceIn(ctx context.Context, s *Session, workers int, 
 	}
 	if !pl.sig.Equal(s.B.Signature()) {
 		return nil, nil, false, nil
+	}
+	if s.acquirePin() {
+		defer s.releasePin()
 	}
 	dv, ok := s.B.DeltaSince(prev.snap)
 	if !ok {
@@ -317,11 +323,13 @@ func (pc *planComponent) advanceJoin(ctx context.Context, s *Session, workers in
 // row storage (sound because session tables are never appended to after
 // materialization).  The view has its own index cache.
 func prefixView(t *Table, n int) *Table {
-	return &Table{width: t.width, n: n, dom: t.dom, flat: t.flat[:n*t.width]}
+	return &Table{width: t.width, n: n, dom: t.dom, flat: t.flat[:n*t.width], ar: t.ar}
 }
 
 // suffixView returns a read-only view of t's rows from row `from` on,
-// sharing the row storage.
+// sharing the row storage.  Views inherit the parent's arena so their
+// prefix indexes are chunk-backed too (an advance runs under the
+// session pin, so the chunks outlive every view built on them).
 func suffixView(t *Table, from int) *Table {
-	return &Table{width: t.width, n: t.n - from, dom: t.dom, flat: t.flat[from*t.width:]}
+	return &Table{width: t.width, n: t.n - from, dom: t.dom, flat: t.flat[from*t.width:], ar: t.ar}
 }

@@ -42,8 +42,8 @@ func TestDeltaAdvanceDifferential(t *testing.T) {
 	queries := []string{
 		"q(x,y,z) := E(x,y) & E(y,z) & E(z,x)",
 		"q(w,x,y,z) := E(w,x) & E(x,y) & E(y,z)",
-		"q(x,y,z) := E(x,y) & E(z,z)",                       // multiple components, one with a free variable
-		"q(s,t) := exists u, v. E(s,u) & E(u,v) & E(v,t)",   // not delta-maintainable: must fall back cleanly
+		"q(x,y,z) := E(x,y) & E(z,z)",                     // multiple components, one with a free variable
+		"q(s,t) := exists u, v. E(s,u) & E(u,v) & E(v,t)", // not delta-maintainable: must fall back cleanly
 	}
 	for qi, src := range queries {
 		p := compilePP(t, sig, src)
@@ -219,6 +219,7 @@ func TestAdvanceableMemosFreedWithSessions(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := SessionStats()
+	arenaBaseline := ArenaChunksLive()
 	var structs []*structure.Structure
 	for i := 0; i < sessionCacheCap+8; i++ {
 		b := workload.RandomStructure(sig, 5, 0.4, int64(i))
@@ -266,5 +267,16 @@ func TestAdvanceableMemosFreedWithSessions(t *testing.T) {
 	sessionMu.Unlock()
 	if present {
 		t.Fatal("oldest structure expected to be LRU-evicted by now")
+	}
+
+	// Arena memory follows the same lifecycle: releasing every remaining
+	// registry entry must return all of this test's pooled chunks, so the
+	// live-chunk gauge falls back to (at most) where it started — LRU
+	// evictions above may have freed chunks of other tests' sessions too.
+	for _, b := range structs {
+		ReleaseSession(b)
+	}
+	if live := ArenaChunksLive(); live > arenaBaseline {
+		t.Fatalf("arena chunks leaked across session eviction: %d live, baseline %d", live, arenaBaseline)
 	}
 }

@@ -11,22 +11,31 @@
 //     exclusion expansions, Counters, and batches — share one plan;
 //   - the Executor layer (exec.go, prune.go): a semi-join pre-pruning
 //     pass that reduces each constraint table against the value supports
-//     of the other constraints on its variables, then the join-count
-//     dynamic program itself.  The DP is index-driven and multi-core:
-//     at plan-bind time (once per component and session) each node gets
-//     a constraint bind order (smallest table first, then maximal
-//     bound-prefix overlap) and each non-pivot step gets a hash index of
-//     its table keyed on the packed values of the already-bound part of
-//     its scope, so enumeration is prefix-index probes instead of
-//     backtracking scans; at run time independent subtrees of the
-//     decomposition execute concurrently on a bounded worker pool and
-//     large pivot tables are sharded row-wise into per-worker
-//     accumulators (bit-identical to serial execution, with a serial
-//     fallback below a size threshold).  Bag keys are packed uint64
-//     (with a spill path for wide bags), counts are int64 with overflow
-//     detection before big.Int, and scratch buffers are pooled.  The
-//     worker budget comes from the EPCQ_WORKERS environment variable,
-//     SetDefaultWorkers, or per-call overrides (CountInWorkers);
+//     of the other constraints on its variables — implemented on
+//     per-table alive-row bitmasks and per-variable allowed-value masks
+//     (64 candidates per word, dead blocks skipped wordwise, one
+//     exact-size compaction at fixpoint) — then the join-count dynamic
+//     program itself.  The DP is index-driven and multi-core: at
+//     plan-bind time (once per component and session) each node gets a
+//     constraint bind order (smallest table first, then maximal
+//     bound-prefix overlap) and each non-pivot step gets a prefix index
+//     of its table keyed on the packed values of the already-bound part
+//     of its scope, so enumeration is index probes instead of
+//     backtracking scans.  Prefix indexes (tableIndex) are CSR-layout
+//     open-addressing tables: splitmix64-hashed packed keys in a
+//     power-of-two slot array sized once at build and never rehashed,
+//     rows contiguous in one shared array, probes allocation-free; the
+//     per-table index cache is LRU-capped (tableIndexCacheCap).  At run
+//     time independent subtrees of the decomposition execute
+//     concurrently on a bounded worker pool and large pivot tables are
+//     sharded row-wise into per-worker accumulators (bit-identical to
+//     serial execution, with a serial fallback below a size threshold).
+//     Bag keys are packed uint64 (with a spill path for wide bags),
+//     counts are int64 with overflow detection before big.Int held
+//     inline in open-addressing wmap accumulators, and scratch buffers
+//     are pooled.  The worker budget comes from the EPCQ_WORKERS
+//     environment variable, SetDefaultWorkers, or per-call overrides
+//     (CountInWorkers);
 //   - the Session layer (session.go): per-structure state — fingerprint,
 //     constraint tables materialized straight off the columnar relation
 //     stores, bound execution plans, cached sentence checks, and a count
@@ -34,7 +43,15 @@
 //     class executes at most once per structure-version) — shared
 //     across φ⁻af terms, repeated counts, and batched counting, with
 //     LRU eviction of the session registry under cap pressure
-//     (SessionStats exposes the registry telemetry).
+//     (SessionStats exposes the registry telemetry).  Session memory —
+//     table rows, index slots, prune scratch — is bump-allocated from a
+//     per-session arena (arena.go) drawing 256 KiB chunks from
+//     process-wide pools; counts in flight hold a pin refcount, and
+//     retirement (eviction, ReleaseSession, version replacement) frees
+//     the chunks back to the pools once the last pin drops, with
+//     ArenaChunksLive gauging the pool debt.  Memo-warm serving
+//     (countMemoHit, Counter.CountBatchInto above) answers settled
+//     fingerprints with zero heap allocations per request.
 //
 // A fourth concern, delta maintenance (delta.go), spans the last two
 // layers: memoized counts of delta-maintainable FPT plans are

@@ -151,9 +151,14 @@ func CountKeyedCtx(ctx context.Context, pl Plan, fp string, s *Session, workers 
 		v, err := CountInCtx(ctx, pl, s, workers)
 		return v, false, err
 	}
+	// Memo-warm fast path: a settled fingerprint returns its shared value
+	// with zero allocations — no compute closure is ever built.
+	if v, ok := s.countMemoHit(fp, pl.Engine()); ok {
+		return v, true, nil
+	}
 	dp, _ := pl.(deltaPlan)
 	for {
-		v, hit, err := s.countMemoState(fp, pl.Engine(), func(prev *priorCount) (*big.Int, any, error) {
+		v, hit, err := s.countMemoState(ctx, fp, pl.Engine(), func(prev *priorCount) (*big.Int, any, error) {
 			if dp == nil {
 				v, err := CountInCtx(ctx, pl, s, workers)
 				return v, nil, err

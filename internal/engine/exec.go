@@ -183,13 +183,58 @@ func mulW(a, b wnum) wnum {
 	return wnum{b: new(big.Int).Mul(a.toBig(), b.toBig())}
 }
 
-// wmap is a keyed accumulator of wnums: packed (uint64 keys) or spilled
-// (string keys), chosen by the codec.
+// mix64 is the splitmix64 finalizer: the hash of packed uint64 keys for
+// the open-addressing tables below.  Packed keys are dense in their low
+// bits, so masking them directly would pile every probe into the bottom
+// of the slot array; the finalizer spreads all 64 input bits over all 64
+// output bits.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// nextPow2 returns the smallest power of two ≥ n (n ≥ 1).
+func nextPow2(n int) int {
+	return 1 << uint(bits.Len(uint(n-1)))
+}
+
+// wmap is a keyed accumulator of wnums: an open-addressing table with
+// inline wnum values for packed (uint64) keys, a Go map for spilled
+// (string) keys.  The open form replaces the previous map[uint64]wnum:
+// key and weight live side by side in one 24-byte slot, so a linear
+// probe on a splitmix64-hashed key touches one cache line per lookup in
+// the common case, where the runtime map chased bucket pointers and
+// tombstones.  Load is capped at 1/2 — the DP's inner loop is
+// lookup-heavy with frequent misses, and an unsuccessful linear probe
+// at 3/4 load costs ~3x the probes it does at 1/2.
+//
+// Slot encoding: a slot is empty iff its value isZero().  That encoding
+// is sound because every stored weight is ≥ 1 (weights start at 1 and
+// are products/sums of stored weights); add drops zero weights — the
+// additive identity — outright to preserve it.
 type wmap struct {
 	codec keyCodec
-	pk    map[uint64]wnum
+	n     int
+	mask  uint64
+	slots []wslot
+	dense []wnum
 	sk    map[string]wnum
 }
+
+// wslot is one open-addressing slot: packed key plus inline weight.
+type wslot struct {
+	key uint64
+	val wnum
+}
+
+// denseWmapCap bounds the key spaces stored as a flat array: dom^width
+// packed keys index dense directly — no hash, no probe chain — while
+// the array stays ≤ 1 MiB (65536 16-byte wnums).
+const denseWmapCap = 1 << 16
 
 func newWmap(codec keyCodec) *wmap { return newWmapSized(codec, 0) }
 
@@ -197,18 +242,74 @@ func newWmap(codec keyCodec) *wmap { return newWmapSized(codec, 0) }
 func newWmapSized(codec keyCodec, n int) *wmap {
 	m := &wmap{codec: codec}
 	if codec.packed {
-		m.pk = make(map[uint64]wnum, n)
+		if kb := codec.bits * uint(codec.width); kb <= 16 { // key space 1<<kb ≤ denseWmapCap
+			m.dense = make([]wnum, 1<<kb)
+			return m
+		}
+		capN := nextPow2(8 + 2*n) // ≤ 1/2 load at the hint
+		m.slots = make([]wslot, capN)
+		m.mask = uint64(capN - 1)
 	} else {
 		m.sk = make(map[string]wnum, n)
 	}
 	return m
 }
 
+// addPacked accumulates w at packed key k, growing at 1/2 load.
+func (m *wmap) addPacked(k uint64, w wnum) {
+	if w.isZero() {
+		return // identity; also keeps the empty-slot encoding sound
+	}
+	if m.dense != nil {
+		d := &m.dense[k]
+		if d.isZero() {
+			m.n++
+		}
+		*d = addW(*d, w)
+		return
+	}
+	if (m.n+1)*2 > len(m.slots) {
+		m.growPacked()
+	}
+	i := mix64(k) & m.mask
+	for {
+		s := &m.slots[i]
+		if s.val.isZero() {
+			s.key = k
+			s.val = w
+			m.n++
+			return
+		}
+		if s.key == k {
+			s.val = addW(s.val, w)
+			return
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// growPacked doubles the slot array and reinserts every entry.
+func (m *wmap) growPacked() {
+	old := m.slots
+	capN := 2 * len(old)
+	m.slots = make([]wslot, capN)
+	m.mask = uint64(capN - 1)
+	for _, s := range old {
+		if s.val.isZero() {
+			continue
+		}
+		j := mix64(s.key) & m.mask
+		for !m.slots[j].val.isZero() {
+			j = (j + 1) & m.mask
+		}
+		m.slots[j] = s
+	}
+}
+
 // add accumulates w at the key for vals.  buf is scratch for spill keys.
 func (m *wmap) add(vals []int, w wnum, buf []byte) {
 	if m.codec.packed {
-		k := m.codec.pack(vals)
-		m.pk[k] = addW(m.pk[k], w)
+		m.addPacked(m.codec.pack(vals), w)
 		return
 	}
 	k := spillKey(vals, buf)
@@ -218,8 +319,22 @@ func (m *wmap) add(vals []int, w wnum, buf []byte) {
 // get looks up the weight at vals; ok reports presence.
 func (m *wmap) get(vals []int, buf []byte) (wnum, bool) {
 	if m.codec.packed {
-		w, ok := m.pk[m.codec.pack(vals)]
-		return w, ok
+		k := m.codec.pack(vals)
+		if m.dense != nil {
+			v := m.dense[k]
+			return v, !v.isZero()
+		}
+		i := mix64(k) & m.mask
+		for {
+			s := &m.slots[i]
+			if s.val.isZero() {
+				return wnum{}, false
+			}
+			if s.key == k {
+				return s.val, true
+			}
+			i = (i + 1) & m.mask
+		}
 	}
 	w, ok := m.sk[spillKey(vals, buf)]
 	return w, ok
@@ -230,8 +345,18 @@ func (m *wmap) get(vals []int, buf []byte) (wnum, bool) {
 // merge order because all weights are non-negative.
 func (m *wmap) merge(o *wmap) {
 	if m.codec.packed {
-		for k, w := range o.pk {
-			m.pk[k] = addW(m.pk[k], w)
+		if o.dense != nil {
+			for k, w := range o.dense {
+				if !w.isZero() {
+					m.addPacked(uint64(k), w)
+				}
+			}
+			return
+		}
+		for _, s := range o.slots {
+			if !s.val.isZero() {
+				m.addPacked(s.key, s.val)
+			}
 		}
 		return
 	}
@@ -244,9 +369,22 @@ func (m *wmap) merge(o *wmap) {
 // supplied scratch slice (len == codec.width, reused between visits).
 func (m *wmap) forEach(vals []int, fn func(vals []int, w wnum)) {
 	if m.codec.packed {
-		for k, w := range m.pk {
-			m.codec.unpack(k, vals)
-			fn(vals, w)
+		if m.dense != nil {
+			for k, w := range m.dense {
+				if w.isZero() {
+					continue
+				}
+				m.codec.unpack(uint64(k), vals)
+				fn(vals, w)
+			}
+			return
+		}
+		for _, s := range m.slots {
+			if s.val.isZero() {
+				continue
+			}
+			m.codec.unpack(s.key, vals)
+			fn(vals, s.val)
 		}
 		return
 	}
@@ -261,38 +399,118 @@ func (m *wmap) forEach(vals []int, fn func(vals []int, w wnum)) {
 // []int32 cells like the structure package's columnar relations.  Tables
 // are immutable once built and shared across plans via the Session;
 // prefix indexes (value-prefix → row ids) are built lazily per bound
-// position subset and cached on the table.
+// position subset and cached on the table (capped: see prefixIndex).
+//
+// Row cells and index arrays are carved from the owning session's arena
+// (ar; nil falls back to the heap), so a session's whole table memory is
+// a handful of pooled chunks that return to the pools on retirement.
 type Table struct {
 	width int
 	n     int
 	dom   int // domain size of the values (index key packing)
 	flat  []int32
+	ar    *arena // owning session's allocator; nil → heap
 
-	mu  sync.Mutex
-	idx map[uint64]*tableIndex // bound-position bitmask → index
+	mu    sync.Mutex
+	idx   map[uint64]*tableIndex // bound-position bitmask → index
+	clock uint64                 // probe tick for LRU eviction of idx
 }
 
-func newTable(width, dom int) *Table { return &Table{width: width, dom: dom} }
+func newTable(width, dom int, ar *arena) *Table { return &Table{width: width, dom: dom, ar: ar} }
 
 // Len returns the number of distinct rows.
 func (t *Table) Len() int { return t.n }
 
 // appendRow copies vals as a new row (the caller guarantees dedup).
 func (t *Table) appendRow(vals []int) {
-	for _, v := range vals {
-		t.flat = append(t.flat, int32(v))
+	if len(t.flat)+len(vals) > cap(t.flat) {
+		t.grow(len(t.flat) + len(vals))
+	}
+	t.flat = t.flat[:len(t.flat)+len(vals)]
+	base := len(t.flat) - len(vals)
+	for i, v := range vals {
+		t.flat[base+i] = int32(v)
 	}
 	t.n++
 }
 
+// grow moves flat to a slice of capacity ≥ need (geometric, arena-backed).
+// Arena slices have no spare capacity — it would alias the next
+// allocation — so growth is explicit rather than via append.
+func (t *Table) grow(need int) {
+	newCap := 2 * cap(t.flat)
+	if newCap < 64 {
+		newCap = 64
+	}
+	for newCap < need {
+		newCap *= 2
+	}
+	nf := t.ar.allocI32(newCap)
+	copy(nf, t.flat)
+	t.flat = nf[:len(t.flat)]
+}
+
 // tableIndex is a hash index of a table keyed on the packed values of a
 // fixed subset of its scope positions: probe(prefix) → row ids.
+//
+// For packed codecs it is an open-addressing CSR index sized once at
+// build time (power-of-two slots, ≤ 0.7 load, no rehash ever): keys
+// holds the packed prefixes, counts/starts describe each key's span in
+// rows, and counts[i] == 0 marks slot i empty (every present key has at
+// least one row).  A probe is a splitmix64 hash plus a linear scan of
+// adjacent slots — one cache line in the common case — and returns a
+// subslice of rows, allocation-free.  Wide prefixes that spill the
+// packed budget keep the string-keyed map form.
 type tableIndex struct {
 	pos   []int // scope positions covered, ascending
 	codec keyCodec
-	pk    map[uint64][]int32
-	sk    map[string][]int32
+
+	mask   uint64
+	keys   []uint64
+	starts []int32
+	counts []int32
+	rows   []int32
+
+	sk map[string][]int32 // spill form (codec.packed == false)
+
+	lastUse uint64 // owning Table's clock at the last prefixIndex call
 }
+
+// probe returns the row ids whose prefix packs to key (nil if none).
+func (ix *tableIndex) probe(key uint64) []int32 {
+	i := mix64(key) & ix.mask
+	for {
+		c := ix.counts[i]
+		if c == 0 {
+			return nil
+		}
+		if ix.keys[i] == key {
+			s := ix.starts[i]
+			return ix.rows[s : s+c]
+		}
+		i = (i + 1) & ix.mask
+	}
+}
+
+// slotFor returns the slot of key, claiming an empty one if absent
+// (build-time helper; claimed slots get a nonzero count immediately).
+func (ix *tableIndex) slotFor(key uint64) uint64 {
+	i := mix64(key) & ix.mask
+	for ix.counts[i] != 0 && ix.keys[i] != key {
+		i = (i + 1) & ix.mask
+	}
+	ix.keys[i] = key
+	return i
+}
+
+// tableIndexCacheCap bounds the per-table prefix-index cache.  A
+// pathological workload binding the same table under many different
+// bound-position subsets (e.g. ad-hoc queries over one large relation)
+// would otherwise accumulate one index per subset for the life of the
+// session; beyond the cap the least-recently-probed index is dropped.
+// Plans already bound keep their direct *tableIndex pointers — eviction
+// only stops the cache from handing the index to future binds.
+const tableIndexCacheCap = 8
 
 // prefixIndex returns (building and caching on first use) the index of t
 // keyed on the given scope positions (ascending, len ≤ 64).  Safe for
@@ -305,20 +523,54 @@ func (t *Table) prefixIndex(pos []int) *tableIndex {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.clock++
 	if ix, ok := t.idx[mask]; ok {
+		ix.lastUse = t.clock
 		return ix
 	}
-	ix := &tableIndex{pos: append([]int(nil), pos...), codec: newKeyCodec(t.dom, len(pos))}
+	ix := &tableIndex{pos: append([]int(nil), pos...), codec: newKeyCodec(t.dom, len(pos)), lastUse: t.clock}
 	vals := make([]int, len(pos))
 	if ix.codec.packed {
-		ix.pk = make(map[uint64][]int32, t.n)
+		capN := t.n + (t.n*3+6)/7 // ≥ n/0.7: load factor ≤ 0.7, never rehashed
+		if capN < 8 {
+			capN = 8
+		}
+		capN = nextPow2(capN)
+		ix.mask = uint64(capN - 1)
+		ix.keys = t.ar.allocU64(capN)
+		ix.starts = t.ar.allocI32(capN)
+		ix.counts = t.ar.allocI32Zero(capN)
+		ix.rows = t.ar.allocI32(t.n)
+		// Pass 1: bucket cardinalities.
 		for r := 0; r < t.n; r++ {
 			base := r * t.width
 			for i, j := range pos {
 				vals[i] = int(t.flat[base+j])
 			}
-			k := ix.codec.pack(vals)
-			ix.pk[k] = append(ix.pk[k], int32(r))
+			ix.counts[ix.slotFor(ix.codec.pack(vals))]++
+		}
+		// Prefix-sum the spans, then fill using starts as the write
+		// cursor and rewind it afterwards — no temporary cursor array.
+		sum := int32(0)
+		for i, c := range ix.counts {
+			if c != 0 {
+				ix.starts[i] = sum
+				sum += c
+			}
+		}
+		for r := 0; r < t.n; r++ {
+			base := r * t.width
+			for i, j := range pos {
+				vals[i] = int(t.flat[base+j])
+			}
+			s := ix.slotFor(ix.codec.pack(vals))
+			ix.rows[ix.starts[s]] = int32(r)
+			ix.starts[s]++
+		}
+		for i, c := range ix.counts {
+			if c != 0 {
+				ix.starts[i] -= c
+			}
 		}
 	} else {
 		ix.sk = make(map[string][]int32, t.n)
@@ -334,6 +586,16 @@ func (t *Table) prefixIndex(pos []int) *tableIndex {
 	}
 	if t.idx == nil {
 		t.idx = make(map[uint64]*tableIndex)
+	}
+	if len(t.idx) >= tableIndexCacheCap {
+		var lruMask uint64
+		lruUse := t.clock + 1
+		for m, e := range t.idx {
+			if e.lastUse < lruUse {
+				lruMask, lruUse = m, e.lastUse
+			}
+		}
+		delete(t.idx, lruMask)
 	}
 	t.idx[mask] = ix
 	return ix
@@ -655,6 +917,7 @@ func (en *execNode) pivotSize(domSize int) int {
 // sharding the pivot range across workers when the pool has capacity and
 // the range is large enough to amortize the merge.
 func (r *dpRun) enumerate(en *execNode, groups []*childGroup, out *wmap, outProj []int) {
+	ready := groupReadiness(en, groups)
 	pivotN := en.pivotSize(r.dom)
 	extra := 0
 	if r.sem != nil && int64(pivotN) >= shardMinRows.Load() {
@@ -670,7 +933,7 @@ func (r *dpRun) enumerate(en *execNode, groups []*childGroup, out *wmap, outProj
 	}
 	if extra == 0 {
 		sc := r.scratch()
-		r.enumRange(en, groups, out, outProj, sc, 0, pivotN)
+		r.enumRange(en, ready, out, outProj, sc, 0, pivotN)
 		scratchPool.Put(sc)
 		return
 	}
@@ -689,13 +952,13 @@ func (r *dpRun) enumerate(en *execNode, groups []*childGroup, out *wmap, outProj
 			}
 			m := newWmap(out.codec)
 			sc := r.scratch()
-			r.enumRange(en, groups, m, outProj, sc, lo, hi)
+			r.enumRange(en, ready, m, outProj, sc, lo, hi)
 			scratchPool.Put(sc)
 			parts[s] = m
 		}(s)
 	}
 	sc := r.scratch()
-	r.enumRange(en, groups, out, outProj, sc, 0, chunk)
+	r.enumRange(en, ready, out, outProj, sc, 0, chunk)
 	scratchPool.Put(sc)
 	wg.Wait()
 	for s := 1; s < shards; s++ {
@@ -703,44 +966,84 @@ func (r *dpRun) enumerate(en *execNode, groups []*childGroup, out *wmap, outProj
 	}
 }
 
+// groupReadiness schedules each child-group lookup at the earliest bind
+// depth where all of its shared bag positions are set.  Depth 0 is
+// before any binder runs; depth si+1 is after step si binds its free
+// scope; depth len(steps)+k+1 is after free variable k is assigned.
+// Hoisting the lookups out of the deeper loops both deduplicates them
+// (one probe per distinct shared-prefix binding instead of one per full
+// assignment) and prunes the entire subtree on a zero factor.
+func groupReadiness(en *execNode, groups []*childGroup) [][]*childGroup {
+	nSteps := len(en.steps)
+	depths := nSteps + len(en.freePos) + 1
+	boundAt := make([]int, en.width)
+	for si := range en.steps {
+		for _, bi := range en.steps[si].freeBag {
+			boundAt[bi] = si + 1
+		}
+	}
+	for k, bi := range en.freePos {
+		boundAt[bi] = nSteps + k + 1
+	}
+	ready := make([][]*childGroup, depths)
+	for _, g := range groups {
+		d := 0
+		for _, bi := range g.sharedBag {
+			if boundAt[bi] > d {
+				d = boundAt[bi]
+			}
+		}
+		ready[d] = append(ready[d], g)
+	}
+	return ready
+}
+
 // enumRange enumerates the node's bag assignments with the pivot range
 // restricted to [lo, hi): rows of the pivot table, or values of the first
 // free variable for constraint-less nodes.  Bind orders are fixed at plan
 // bind, so no assigned-flag bookkeeping or rollback happens here — every
 // bag position is written by exactly one binder before any deeper read.
-func (r *dpRun) enumRange(en *execNode, groups []*childGroup, m *wmap, outProj []int, sc *execScratch, lo, hi int) {
+// Child-group factors are multiplied into the running weight at their
+// readiness depth (see groupReadiness); a missing factor abandons the
+// subtree before any deeper binder runs.
+func (r *dpRun) enumRange(en *execNode, ready [][]*childGroup, m *wmap, outProj []int, sc *execScratch, lo, hi int) {
 	assign := sc.assign[:en.width]
-	emit := func() {
-		if r.cancelled(sc) {
-			return
-		}
-		weight := wnum{lo: 1}
-		for _, g := range groups {
+	// applyReady folds the factors scheduled at depth d into w; ok=false
+	// means some factor is zero and the subtree contributes nothing.
+	applyReady := func(d int, w wnum) (wnum, bool) {
+		for _, g := range ready[d] {
 			proj := sc.proj[:len(g.sharedBag)]
 			for i, bi := range g.sharedBag {
 				proj[i] = assign[bi]
 			}
 			s, ok := g.sums.get(proj, sc.keyBuf)
 			if !ok {
-				return
+				return w, false
 			}
-			weight = mulW(weight, s)
+			w = mulW(w, s)
+		}
+		return w, true
+	}
+	emit := func(w wnum) {
+		if r.cancelled(sc) {
+			return
 		}
 		pv := sc.proj[:len(outProj)]
 		for i, bi := range outProj {
 			pv[i] = assign[bi]
 		}
-		m.add(pv, weight, sc.keyBuf)
+		m.add(pv, w, sc.keyBuf)
 	}
+	nSteps := len(en.steps)
 	free := en.freePos
-	var fill func(k int)
-	fill = func(k int) {
+	var fill func(k int, w wnum)
+	fill = func(k int, w wnum) {
 		if k == len(free) {
-			emit()
+			emit(w)
 			return
 		}
 		loK, hiK := 0, r.dom
-		pivot := len(en.steps) == 0 && k == 0
+		pivot := nSteps == 0 && k == 0
 		if pivot {
 			loK, hiK = lo, hi
 		}
@@ -749,13 +1052,15 @@ func (r *dpRun) enumRange(en *execNode, groups []*childGroup, m *wmap, outProj [
 				return
 			}
 			assign[free[k]] = v
-			fill(k + 1)
+			if wv, ok := applyReady(nSteps+k+1, w); ok {
+				fill(k+1, wv)
+			}
 		}
 	}
-	var recStep func(si int)
-	recStep = func(si int) {
-		if si == len(en.steps) {
-			fill(0)
+	var recStep func(si int, w wnum)
+	recStep = func(si int, w wnum) {
+		if si == nSteps {
+			fill(0, w)
 			return
 		}
 		st := &en.steps[si]
@@ -773,7 +1078,9 @@ func (r *dpRun) enumRange(en *execNode, groups []*childGroup, m *wmap, outProj [
 				for i, j := range st.freeScope {
 					assign[st.freeBag[i]] = int(t.flat[base+j])
 				}
-				recStep(si + 1)
+				if wv, ok := applyReady(si+1, w); ok {
+					recStep(si+1, wv)
+				}
 			}
 			return
 		}
@@ -783,7 +1090,7 @@ func (r *dpRun) enumRange(en *execNode, groups []*childGroup, m *wmap, outProj [
 		}
 		var rows []int32
 		if st.idx.codec.packed {
-			rows = st.idx.pk[st.idx.codec.pack(vals)]
+			rows = st.idx.probe(st.idx.codec.pack(vals))
 		} else {
 			rows = st.idx.sk[spillKey(vals, sc.keyBuf)]
 		}
@@ -792,10 +1099,14 @@ func (r *dpRun) enumRange(en *execNode, groups []*childGroup, m *wmap, outProj [
 			for i, j := range st.freeScope {
 				assign[st.freeBag[i]] = int(t.flat[base+j])
 			}
-			recStep(si + 1)
+			if wv, ok := applyReady(si+1, w); ok {
+				recStep(si+1, wv)
+			}
 		}
 	}
-	recStep(0)
+	if w0, ok := applyReady(0, wnum{lo: 1}); ok {
+		recStep(0, w0)
+	}
 }
 
 // sharedPositions returns, for the variables common to bag and childVars

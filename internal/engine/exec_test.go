@@ -194,7 +194,7 @@ func TestParallelOverflowMatchesSerial(t *testing.T) {
 // Table prefix indexes: probing must return exactly the rows whose bound
 // positions match, under both the packed and spilled codecs.
 func TestTablePrefixIndex(t *testing.T) {
-	tb := newTable(3, 5)
+	tb := newTable(3, 5, nil)
 	rows := [][]int{{0, 1, 2}, {0, 1, 3}, {1, 1, 2}, {4, 0, 0}}
 	for _, r := range rows {
 		tb.appendRow(r)
@@ -203,7 +203,7 @@ func TestTablePrefixIndex(t *testing.T) {
 		ix := tb.prefixIndex([]int{0, 1})
 		probe := func(vals []int) []int32 {
 			if ix.codec.packed {
-				return ix.pk[ix.codec.pack(vals)]
+				return ix.probe(ix.codec.pack(vals))
 			}
 			return ix.sk[spillKey(vals, nil)]
 		}
@@ -221,7 +221,7 @@ func TestTablePrefixIndex(t *testing.T) {
 	// Spilled codec: fresh table (the index cache is keyed per table).
 	restore := SetPackedKeyBudget(0)
 	defer restore()
-	tb = newTable(3, 5)
+	tb = newTable(3, 5, nil)
 	for _, r := range rows {
 		tb.appendRow(r)
 	}

@@ -326,7 +326,13 @@ func (pl *fptPlan) CountInCtx(ctx context.Context, s *Session, workers int) (*bi
 }
 
 // countIn is the shared implementation; ctx may be nil (never cancels).
+// The whole count runs under a session pin: the tables and prefix
+// indexes it reads live in the session's arena, and the pin keeps those
+// chunks out of the recycling pools until the executor window closes.
 func (pl *fptPlan) countIn(ctx context.Context, s *Session, workers int) (*big.Int, error) {
+	if s.acquirePin() {
+		defer s.releasePin()
+	}
 	b := s.B
 	if !pl.sig.Equal(b.Signature()) {
 		return nil, errSignature(pl.p, b)

@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// chainComponent is a path-query shape for exercising semiJoinPrune
+// directly: nvars active variables joined by nvars-1 binary constraints
+// E(x_i, x_{i+1}).
+func chainComponent(nvars int) *planComponent {
+	pc := &planComponent{nActive: nvars}
+	for i := 0; i < nvars-1; i++ {
+		pc.constraints = append(pc.constraints, planConstraint{scope: []int{i, i + 1}})
+	}
+	return pc
+}
+
+// layeredEdgeTable fills one table per chain constraint with the edges
+// of a dense layered DAG (width vertices per layer, deg out-edges into
+// the next layer).  All tables share the edge set but are distinct
+// copies, as session materialization would produce.
+func layeredEdgeTables(k, layers, width, deg int, seed int64, ar *arena) ([]*Table, int) {
+	dom := layers * width
+	rng := rand.New(rand.NewSource(seed))
+	var edges [][2]int
+	seen := make(map[[2]int]bool)
+	for l := 0; l < layers-1; l++ {
+		for j := 0; j < width; j++ {
+			u := l*width + j
+			for d := 0; d < deg; d++ {
+				e := [2]int{u, (l+1)*width + rng.Intn(width)}
+				if !seen[e] {
+					seen[e] = true
+					edges = append(edges, e)
+				}
+			}
+		}
+	}
+	tables := make([]*Table, k)
+	for ci := range tables {
+		t := newTable(2, dom, ar)
+		for _, e := range edges {
+			t.appendRow(e[:])
+		}
+		tables[ci] = t
+	}
+	return tables, dom
+}
+
+// tableRows flattens a table into comparable row slices.
+func tableRows(t *Table) [][2]int32 {
+	rows := make([][2]int32, t.n)
+	for r := 0; r < t.n; r++ {
+		rows[r] = [2]int32{t.flat[2*r], t.flat[2*r+1]}
+	}
+	return rows
+}
+
+// The AC-4 worklist strategy must land on exactly the tables the
+// rescanning fallback reaches when the fallback is run to convergence:
+// both compute the same arc-consistency fixpoint, differing only in how
+// supports are kept current.  Against the fallback at its default round
+// cap, AC-4 may only prune more, never less.
+func TestSemiJoinPruneAC4MatchesRescanFallback(t *testing.T) {
+	shapes := []struct {
+		nvars, layers, width, deg int
+		seed                      int64
+	}{
+		{5, 3, 20, 4, 1},   // shallow: prune empties (no 4-edge walk in 3 layers)
+		{9, 12, 24, 4, 2},  // deep: boundary trickle, survivors remain
+		{4, 6, 16, 3, 3},   // short chain on a mid-depth target
+		{7, 4, 40, 6, 4},   // empties at the round cap
+		{16, 20, 16, 3, 5}, // cascade deeper than the default round cap
+	}
+	defer func(oldCells, oldRounds int) {
+		pruneMaxCntCells, pruneMaxRounds = oldCells, oldRounds
+	}(pruneMaxCntCells, pruneMaxRounds)
+	for _, sh := range shapes {
+		pc := chainComponent(sh.nvars)
+		tables, dom := layeredEdgeTables(sh.nvars-1, sh.layers, sh.width, sh.deg, sh.seed, &arena{})
+
+		pruneMaxCntCells = 1 << 22
+		gotAC4, emptyAC4 := semiJoinPrune(pc, tables, dom)
+		pruneMaxCntCells = 0  // force the rescanning fallback...
+		pruneMaxRounds = 1024 // ...run to convergence
+		gotScan, emptyScan := semiJoinPrune(pc, tables, dom)
+
+		if emptyAC4 != emptyScan {
+			t.Fatalf("shape %+v: AC-4 empty=%v, converged fallback empty=%v", sh, emptyAC4, emptyScan)
+		}
+		if !emptyAC4 {
+			if len(gotAC4) != len(gotScan) {
+				t.Fatalf("shape %+v: table count %d vs %d", sh, len(gotAC4), len(gotScan))
+			}
+			for ci := range gotAC4 {
+				ri, rs := tableRows(gotAC4[ci]), tableRows(gotScan[ci])
+				if len(ri) != len(rs) {
+					t.Fatalf("shape %+v table %d: %d rows vs %d", sh, ci, len(ri), len(rs))
+				}
+				for r := range ri {
+					if ri[r] != rs[r] {
+						t.Fatalf("shape %+v table %d row %d: %v vs %v", sh, ci, r, ri[r], rs[r])
+					}
+				}
+			}
+		}
+
+		// Subset law vs the capped fallback: AC-4 keeps no row the
+		// capped fixpoint would have dropped.
+		pruneMaxRounds = 4
+		gotCap, emptyCap := semiJoinPrune(pc, tables, dom)
+		if emptyCap && !emptyAC4 {
+			t.Fatalf("shape %+v: capped fallback emptied but AC-4 did not", sh)
+		}
+		if emptyAC4 || emptyCap {
+			continue
+		}
+		for ci := range gotAC4 {
+			keep := make(map[[2]int32]bool, gotCap[ci].n)
+			for _, row := range tableRows(gotCap[ci]) {
+				keep[row] = true
+			}
+			for _, row := range tableRows(gotAC4[ci]) {
+				if !keep[row] {
+					t.Fatalf("shape %+v table %d: AC-4 kept row %v the capped fallback dropped", sh, ci, row)
+				}
+			}
+		}
+	}
+}
+
+// The shapes above must exercise both fixpoint outcomes; pin them so a
+// workload change cannot silently turn the test one-sided.
+func TestSemiJoinPruneShapesCoverBothOutcomes(t *testing.T) {
+	pcE := chainComponent(5)
+	tE, domE := layeredEdgeTables(4, 3, 20, 4, 1, &arena{})
+	if _, empty := semiJoinPrune(pcE, tE, domE); !empty {
+		t.Error("5-var chain on a 3-layer DAG should prune to empty")
+	}
+	pcS := chainComponent(9)
+	tS, domS := layeredEdgeTables(8, 12, 24, 4, 2, &arena{})
+	out, empty := semiJoinPrune(pcS, tS, domS)
+	if empty {
+		t.Fatal("9-var chain on a 12-layer DAG has walks; must not empty")
+	}
+	if out[0].n >= tS[0].n {
+		t.Error("deep-DAG shape should still trim boundary rows")
+	}
+}

@@ -34,6 +34,16 @@ type Session struct {
 	fpOnce  sync.Once
 	fp      uint64
 
+	// ar backs the session's table rows and prefix-index slots with
+	// pooled chunks (arena.go).  pins is the reference count guarding
+	// that memory: it starts at 1 (the registry's reference, dropped by
+	// retire) and is incremented around every count's executor window
+	// (acquirePin/releasePin).  When it reaches zero, freeArena wipes
+	// the arena-referencing memos and returns the chunks to the pools.
+	ar       *arena
+	pins     atomic.Int64
+	freeOnce sync.Once
+
 	mu        sync.Mutex
 	tables    map[tableKey]*tableEntry
 	sentences map[*structure.Structure]bool
@@ -66,14 +76,16 @@ type countKey struct {
 	name Name
 }
 
-// countEntry guards one memoized count: duplicate requests wait on the
-// entry's Once while distinct fingerprints compute concurrently.  state
-// is the plan's opaque advanceable state (nil for plans without delta
+// countEntry guards one memoized count: the installing caller drives the
+// computation and closes ch when it finishes, duplicate requests wait on
+// ch (or their own context — a deadlined waiter unblocks without the
+// driver) while distinct fingerprints compute concurrently.  state is
+// the plan's opaque advanceable state (nil for plans without delta
 // support); done flips true only after a successful computation, so a
 // concurrent settledCounts can adopt v/state safely (the atomic store
 // orders the writes before any reader that observes done).
 type countEntry struct {
-	once  sync.Once
+	ch    chan struct{}
 	v     *big.Int
 	state any
 	err   error
@@ -102,15 +114,76 @@ type tableEntry struct {
 // NewSession builds a fresh session for b.
 func NewSession(b *structure.Structure) *Session {
 	snap := b.Snapshot()
-	return &Session{
+	s := &Session{
 		B:         b,
 		version:   snap.Version,
 		snap:      snap,
+		ar:        &arena{},
 		tables:    make(map[tableKey]*tableEntry),
 		sentences: make(map[*structure.Structure]bool),
 		pruned:    make(map[*planComponent]*pruneEntry),
 		counts:    make(map[countKey]*countEntry),
 	}
+	s.pins.Store(1) // the owner's reference, dropped by retire
+	return s
+}
+
+// acquirePin takes a reference on the session's arena memory for the
+// duration of an executor window (increment-if-positive, so a pin can
+// never resurrect a session whose memory was already freed).  It returns
+// false when the session has been retired and fully released: by then
+// freeArena has completed — acquirePin blocks on it via the Once — the
+// table/plan memos are wiped, and every rebuild falls back to plain heap
+// allocation, so the caller proceeds unpinned and safely, just slower.
+func (s *Session) acquirePin() bool {
+	for {
+		n := s.pins.Load()
+		if n <= 0 {
+			s.freeArena() // idempotent; waits until the chunks are back in the pools
+			return false
+		}
+		if s.pins.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// releasePin drops a reference taken by acquirePin; the last release
+// after retirement frees the arena.
+func (s *Session) releasePin() {
+	if s.pins.Add(-1) == 0 {
+		s.freeArena()
+	}
+}
+
+// retire drops the owner's reference: the registry calls it exactly once
+// when the session leaves the cache (LRU eviction, stale replacement,
+// ReleaseSession).  The arena is freed immediately if no count is in
+// flight, otherwise by the last releasePin.
+func (s *Session) retire() { s.releasePin() }
+
+// freeArena wipes every memo that can reference arena memory (tables,
+// bound plans) and returns the arena's chunks to the process pools.  The
+// refcount protocol guarantees no executor window is open when it runs;
+// any later use of the session rebuilds heap-backed state on demand.
+func (s *Session) freeArena() {
+	s.freeOnce.Do(func() {
+		s.mu.Lock()
+		s.tables = make(map[tableKey]*tableEntry)
+		s.pruned = make(map[*planComponent]*pruneEntry)
+		ar := s.ar
+		s.ar = nil
+		s.mu.Unlock()
+		ar.free()
+	})
+}
+
+// arenaFor returns the session's arena (nil after retirement, which
+// makes every downstream allocation fall back to the heap).
+func (s *Session) arenaFor() *arena {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ar
 }
 
 // CountMemo returns the session-cached count of the canonical counting
@@ -122,10 +195,24 @@ func NewSession(b *structure.Structure) *Session {
 // it as read-only.  The bool reports a cache hit (the value may still be
 // computed by a concurrent first caller; the Once serializes that).
 func (s *Session) CountMemo(fp string, name Name, f func() (*big.Int, error)) (*big.Int, bool, error) {
-	return s.countMemoState(fp, name, func(*priorCount) (*big.Int, any, error) {
+	return s.countMemoState(nil, fp, name, func(*priorCount) (*big.Int, any, error) {
 		v, err := f()
 		return v, nil, err
 	})
+}
+
+// countMemoHit is the allocation-free warm path of the count memo: it
+// reports the settled value of (fp, name) without building closures or
+// entries.  A miss (absent, still computing, or failed) falls through to
+// the full countMemoState machinery.
+func (s *Session) countMemoHit(fp string, name Name) (*big.Int, bool) {
+	s.mu.Lock()
+	e := s.counts[countKey{fp: fp, name: name}]
+	s.mu.Unlock()
+	if e != nil && e.done.Load() {
+		return e.v, true
+	}
+	return nil, false
 }
 
 // countMemoState is CountMemo with prior-state threading: the compute
@@ -133,7 +220,13 @@ func (s *Session) CountMemo(fp string, name Name, f func() (*big.Int, error)) (*
 // advanceable state from the structure's previous session) when one
 // exists, so a delta-capable plan can advance it instead of recounting;
 // it returns the new value plus the state a future advance starts from.
-func (s *Session) countMemoState(fp string, name Name, f func(prev *priorCount) (*big.Int, any, error)) (*big.Int, bool, error) {
+//
+// The installing caller becomes the driver; duplicate callers park on
+// the entry.  A parked caller whose own ctx fires returns its ctx error
+// immediately instead of riding out the driver's computation — a
+// serving request's deadline bounds its wait even when another request
+// owns the compute (nil ctx waits indefinitely).
+func (s *Session) countMemoState(ctx context.Context, fp string, name Name, f func(prev *priorCount) (*big.Int, any, error)) (*big.Int, bool, error) {
 	key := countKey{fp: fp, name: name}
 	s.mu.Lock()
 	e := s.counts[key]
@@ -142,13 +235,11 @@ func (s *Session) countMemoState(fp string, name Name, f func(prev *priorCount) 
 		if len(s.counts) >= sessionMemoCap {
 			s.counts = make(map[countKey]*countEntry)
 		}
-		e = &countEntry{}
+		e = &countEntry{ch: make(chan struct{})}
 		s.counts[key] = e
-	}
-	s.mu.Unlock()
-	e.once.Do(func() {
-		// The prior is looked up inside the Once (not at install time):
-		// whichever caller wins the race to compute must see it.
+		s.mu.Unlock()
+		// Driver path.  The prior is looked up here (not at install
+		// time) so the computation sees the freshest adopted state.
 		var prev *priorCount
 		s.mu.Lock()
 		if p, ok := s.prior[key]; ok {
@@ -158,19 +249,29 @@ func (s *Session) countMemoState(fp string, name Name, f func(prev *priorCount) 
 		e.v, e.state, e.err = f(prev)
 		if e.err == nil {
 			e.done.Store(true)
+		} else if errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded) {
+			// A cancelled computation must not poison the memo: evict
+			// the entry (if it is still ours) before releasing the
+			// waiters, so their retries install a fresh entry.
+			// CountKeyedCtx retries waiters whose own context is alive.
+			s.mu.Lock()
+			if s.counts[key] == e {
+				delete(s.counts, key)
+			}
+			s.mu.Unlock()
 		}
-	})
-	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
-		// A cancelled computation must not poison the memo: evict the
-		// entry (if it is still ours) so the next request recomputes.
-		// Waiters parked on this entry's Once observe the cancellation
-		// error too; CountKeyedCtx retries them against a fresh entry
-		// when their own context is still alive.
-		s.mu.Lock()
-		if s.counts[key] == e {
-			delete(s.counts, key)
+		close(e.ch)
+		return e.v, hit, e.err
+	}
+	s.mu.Unlock()
+	if ctx != nil {
+		select {
+		case <-e.ch:
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
 		}
-		s.mu.Unlock()
+	} else {
+		<-e.ch
 	}
 	return e.v, hit, e.err
 }
@@ -308,7 +409,7 @@ func (s *Session) tableFor(c *planConstraint) *Table {
 
 func (s *Session) materialize(c *planConstraint) *Table {
 	width := len(c.scope)
-	t := newTable(width, s.B.Size())
+	t := newTable(width, s.B.Size(), s.arenaFor())
 	if c.sub == nil {
 		// Atom constraint: project B's relation through the template
 		// directly off the columnar store into the table's flat row-major
@@ -323,7 +424,9 @@ func (s *Session) materialize(c *planConstraint) *Table {
 		for j := range c.atomTmpl {
 			cols[j] = rel.Col(j)
 		}
-		dedup := structure.NewTupleSet(width)
+		// Sized to the relation: projection only removes rows, so n bounds
+		// the distinct count and bulk insertion never rehashes.
+		dedup := structure.NewTupleSetSized(width, n)
 		vals := make([]int, width)
 		seen := make([]bool, width)
 	rowLoop:
@@ -392,7 +495,9 @@ func evictSessionsLocked() {
 				oldest, oldestUse = b, e.use
 			}
 		}
+		evicted := sessions[oldest].s
 		delete(sessions, oldest)
+		evicted.retire()
 		sessionEvictions.Add(1)
 	}
 }
@@ -443,6 +548,7 @@ func SessionFor(b *structure.Structure) *Session {
 		ns := NewSession(b)
 		ns.prior = e.s.settledCounts()
 		sessions[b] = &sessionEntry{s: ns, use: sessionClock}
+		e.s.retire()
 		return ns
 	}
 	if len(sessions) >= sessionCacheCap {
@@ -478,10 +584,15 @@ func (s *Session) settledCounts() map[countKey]priorCount {
 }
 
 // ReleaseSession drops b's cached session (if any), releasing its
-// materialized tables.  Long-lived processes that are done with a
-// structure can call this instead of waiting for cap-triggered eviction.
+// materialized tables and returning its arena chunks to the process
+// pools.  Long-lived processes that are done with a structure can call
+// this instead of waiting for cap-triggered eviction.
 func ReleaseSession(b *structure.Structure) {
 	sessionMu.Lock()
+	e := sessions[b]
 	delete(sessions, b)
 	sessionMu.Unlock()
+	if e != nil {
+		e.s.retire()
+	}
 }

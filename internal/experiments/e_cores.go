@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/count"
+	"repro/internal/structure"
+	"repro/internal/workload"
+)
+
+// RunP1 sweeps the batch-counting pipeline across core counts: for each
+// requested core budget it pins GOMAXPROCS and the counter's worker pool
+// to that budget, counts the same batch of structures, and reports
+// wall-clock time plus the speedup against the single-core row.  Results
+// must be bit-identical at every point — the sweep validates that the
+// parallel fan-out, session registry, and arena lifecycle are oblivious
+// to the core count, not just that they scale.
+func RunP1(cfg Config) (*Table, error) {
+	cores := cfg.Cores
+	if len(cores) == 0 {
+		cores = []int{1, 2, 4, 8}
+	}
+	t := &Table{
+		ID:      "P1",
+		Title:   "Core sweep: memo-cold batch counting vs worker/GOMAXPROCS budget",
+		Columns: []string{"cores", "batch", "t_batch", "speedup", "match"},
+		OK:      true,
+	}
+	q := workload.PathQuery(4)
+	batch, n := 32, 60
+	if cfg.Quick {
+		batch, n = 8, 24
+	}
+	c, err := core.NewCounter(q, nil, count.EngineFPT)
+	if err != nil {
+		return nil, err
+	}
+	bs := make([]*structure.Structure, batch)
+	for i := range bs {
+		g := workload.ER(n, 4.0/float64(n), int64(100+i))
+		bs[i] = workload.GraphStructure(g)
+	}
+	out := make([]*big.Int, batch)
+	for i := range out {
+		out[i] = new(big.Int)
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	ctx := context.Background()
+	var ref []*big.Int
+	var base float64
+	for _, cc := range cores {
+		if cc < 1 {
+			return nil, fmt.Errorf("experiments: core budget %d < 1", cc)
+		}
+		runtime.GOMAXPROCS(cc)
+		c.WithWorkers(cc)
+		// Memo-cold on every row: each sweep point rebuilds its sessions so
+		// the rows time the same work.
+		for _, b := range bs {
+			c.Release(b)
+		}
+		d, err := timed(func() error {
+			return c.CountBatchInto(ctx, bs, out)
+		})
+		if err != nil {
+			return nil, err
+		}
+		match := true
+		if ref == nil {
+			ref = make([]*big.Int, batch)
+			for i, v := range out {
+				ref[i] = new(big.Int).Set(v)
+			}
+			base = d.Seconds()
+		} else {
+			for i, v := range out {
+				if v.Cmp(ref[i]) != 0 {
+					match = false
+				}
+			}
+		}
+		t.OK = t.OK && match
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(cc), fmt.Sprint(batch), fmtDur(d),
+			fmt.Sprintf("%.2fx", base/d.Seconds()), fmt.Sprint(match),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("host GOMAXPROCS before sweep: %d (speedups flatten once the budget passes the physical cores)", prev))
+	return t, nil
+}

@@ -109,6 +109,9 @@ func (t *Table) Render() string {
 type Config struct {
 	// Quick shrinks instance sizes for smoke runs.
 	Quick bool
+	// Cores is the worker/GOMAXPROCS budgets the P1 sweep visits
+	// (epbench -cores); empty means the default {1, 2, 4, 8}.
+	Cores []int
 }
 
 // Spec describes one experiment.
@@ -131,6 +134,7 @@ func All() []Spec {
 		{"E8", "Theorem 3.1 — end-to-end interreducibility count[Φ] ≡ count[Φ⁺]", RunE8},
 		{"E9", "Theorem 3.2 — trichotomy classification of query families", RunE9},
 		{"E10", "FPT vs XP — time as the parameter (query size) grows", RunE10},
+		{"P1", "Core sweep — batch counting across worker/GOMAXPROCS budgets", RunP1},
 		{"S1", "Service throughput — epserved HTTP counting under concurrent clients", RunS1},
 		{"S2", "Delta maintenance — append-stream subscription reads vs full recounts", RunS2},
 		{"A1", "Ablation — counting engines on one workload", RunA1},

@@ -3,6 +3,7 @@ package hom
 import (
 	"fmt"
 	"math/big"
+	"math/bits"
 	"sort"
 
 	"repro/internal/structure"
@@ -43,10 +44,27 @@ type solver struct {
 
 	// domFree is a freelist of domain-set copies (one flat backing array
 	// per entry) recycled across search branches; supBuf is the pooled
-	// per-position support scratch of propagate.  A solver serves one
-	// call and is single-threaded, so no locking is needed.
+	// per-position support scratch of propagate; candBuf is the pooled
+	// candidate-row word bitmap the posting-bitmap union accumulates
+	// into.  A solver serves one call and is single-threaded, so no
+	// locking is needed.
 	domFree [][]bitset
 	supBuf  []bitset
+	candBuf []uint64
+}
+
+// candWords returns a zeroed word bitmap covering n rows from the pooled
+// scratch.
+func (s *solver) candWords(n int) []uint64 {
+	w := (n + 63) / 64
+	if cap(s.candBuf) < w {
+		s.candBuf = make([]uint64, w)
+	}
+	buf := s.candBuf[:w]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
 }
 
 // cloneDoms returns a recycled (or fresh, flat-backed) copy of dom.
@@ -185,14 +203,23 @@ func (s *solver) propagate(dom []bitset, queue []int) bool {
 		bcols := c.bcols
 		vars := c.vars
 		if 4*bestCnt < 3*s.nB {
-			// Restrictive pivot: take only the posting lists of the
-			// domain's values.
+			// Restrictive pivot: union the posting bitmaps of the
+			// domain's values into one candidate-row word bitmap (64
+			// rows per op; the per-value bitmaps are disjoint, each row
+			// holding one value at the pivot position), then visit each
+			// candidate row once in increasing, cache-friendly order.
+			words := s.candWords(c.brel.Len())
 			dom[vars[bestPos]].forEach(func(val int) bool {
-				for _, row := range c.brel.RowsWith(bestPos, val) {
-					addRowSupport(vars, bcols, dom, support, int(row))
-				}
+				c.brel.RowsWith(bestPos, val).UnionIntoWords(words)
 				return true
 			})
+			for wi, w := range words {
+				for w != 0 {
+					j := bits.TrailingZeros64(w)
+					w &^= 1 << j
+					addRowSupport(vars, bcols, dom, support, wi<<6|j)
+				}
+			}
 		} else {
 			// Unpruned pivot domain: a contiguous column sweep beats
 			// per-value posting lookups (the row filter still applies).

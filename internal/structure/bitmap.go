@@ -1,0 +1,408 @@
+package structure
+
+import "math/bits"
+
+// Bitmap is a compressed set of non-negative row ids, stored roaring
+// style in two levels: row >> 16 selects a chunk, and each chunk holds
+// the low 16 bits of its members either as a sorted array container
+// (while sparse) or as a packed 1024-word bitmap container (once dense).
+// The crossover is arrayContainerCap members: below it the array form is
+// smaller and its merge-style intersection faster; at or above it the
+// bitmap form intersects 64 rows per word op.
+//
+// Bitmaps replace the flat []int32 posting lists of the relation store:
+// Add is amortized O(1) for the store's append pattern (row ids arrive
+// strictly increasing), And/AndCard intersect word-at-a-time, and
+// ForEach visits members in increasing order without materializing a
+// slice.  A Bitmap is single-writer (the owning Relation mutates it);
+// any number of goroutines may read it between mutations.
+type Bitmap struct {
+	n    int
+	keys []uint32 // chunk high bits, strictly increasing
+	ctrs []container
+}
+
+// arrayContainerCap is the array→bitmap promotion threshold: a container
+// holding this many members converts to the packed bitmap form.  4096
+// uint16s occupy exactly as much memory as the 1024-word bitmap, so the
+// array form is strictly smaller below the threshold.
+const arrayContainerCap = 4096
+
+// containerSpan is the number of row ids one container covers.
+const containerSpan = 1 << 16
+
+// container is one 64Ki-row chunk: exactly one of arr (sorted members'
+// low 16 bits) or words (packed bitmap) is non-nil.
+type container struct {
+	arr   []uint16
+	words []uint64
+}
+
+func (c *container) has(low uint16) bool {
+	if c.words != nil {
+		return c.words[low>>6]&(1<<(low&63)) != 0
+	}
+	// Binary search the sorted array form.
+	lo, hi := 0, len(c.arr)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.arr[mid] < low {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(c.arr) && c.arr[lo] == low
+}
+
+// add inserts low and reports whether it was new.  The store's append
+// pattern inserts in increasing order, making the append fast path the
+// common one; out-of-order inserts shift.
+func (c *container) add(low uint16) bool {
+	if c.words != nil {
+		w, b := low>>6, uint64(1)<<(low&63)
+		if c.words[w]&b != 0 {
+			return false
+		}
+		c.words[w] |= b
+		return true
+	}
+	if n := len(c.arr); n == 0 || c.arr[n-1] < low {
+		c.arr = append(c.arr, low)
+	} else {
+		lo, hi := 0, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if c.arr[mid] < low {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < n && c.arr[lo] == low {
+			return false
+		}
+		c.arr = append(c.arr, 0)
+		copy(c.arr[lo+1:], c.arr[lo:])
+		c.arr[lo] = low
+	}
+	if len(c.arr) >= arrayContainerCap {
+		c.promote()
+	}
+	return true
+}
+
+// promote converts the array form to the packed bitmap form.
+func (c *container) promote() {
+	words := make([]uint64, containerSpan/64)
+	for _, v := range c.arr {
+		words[v>>6] |= 1 << (v & 63)
+	}
+	c.arr, c.words = nil, words
+}
+
+// card returns the container's cardinality.
+func (c *container) card() int {
+	if c.words == nil {
+		return len(c.arr)
+	}
+	n := 0
+	for _, w := range c.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Len returns the bitmap's cardinality.  A nil Bitmap is empty.
+func (b *Bitmap) Len() int {
+	if b == nil {
+		return 0
+	}
+	return b.n
+}
+
+// chunkAt returns the index of key in keys, or -1.
+func (b *Bitmap) chunkAt(key uint32) int {
+	lo, hi := 0, len(b.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if b.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(b.keys) && b.keys[lo] == key {
+		return lo
+	}
+	return -1
+}
+
+// Add inserts row and reports whether it was new.
+func (b *Bitmap) Add(row int32) bool {
+	key, low := uint32(row)>>16, uint16(row)
+	// Fast path: the store appends strictly increasing rows, so the
+	// target is almost always the last chunk (or a brand-new one).
+	if n := len(b.keys); n > 0 && b.keys[n-1] == key {
+		if b.ctrs[n-1].add(low) {
+			b.n++
+			return true
+		}
+		return false
+	} else if n == 0 || b.keys[n-1] < key {
+		b.keys = append(b.keys, key)
+		b.ctrs = append(b.ctrs, container{arr: []uint16{low}})
+		b.n++
+		return true
+	}
+	ci := b.chunkAt(key)
+	if ci < 0 {
+		// Out-of-order insert into a missing middle chunk.
+		lo := 0
+		for lo < len(b.keys) && b.keys[lo] < key {
+			lo++
+		}
+		b.keys = append(b.keys, 0)
+		copy(b.keys[lo+1:], b.keys[lo:])
+		b.keys[lo] = key
+		b.ctrs = append(b.ctrs, container{})
+		copy(b.ctrs[lo+1:], b.ctrs[lo:])
+		b.ctrs[lo] = container{arr: []uint16{low}}
+		b.n++
+		return true
+	}
+	if b.ctrs[ci].add(low) {
+		b.n++
+		return true
+	}
+	return false
+}
+
+// Contains reports membership of row.
+func (b *Bitmap) Contains(row int32) bool {
+	if b == nil {
+		return false
+	}
+	ci := b.chunkAt(uint32(row) >> 16)
+	return ci >= 0 && b.ctrs[ci].has(uint16(row))
+}
+
+// ForEach visits every member in increasing order; fn returning false
+// stops the iteration.
+func (b *Bitmap) ForEach(fn func(row int32) bool) {
+	if b == nil {
+		return
+	}
+	for ci, key := range b.keys {
+		base := int32(key) << 16
+		c := &b.ctrs[ci]
+		if c.words == nil {
+			for _, v := range c.arr {
+				if !fn(base | int32(v)) {
+					return
+				}
+			}
+			continue
+		}
+		for wi, w := range c.words {
+			for w != 0 {
+				j := bits.TrailingZeros64(w)
+				w &^= 1 << j
+				if !fn(base | int32(wi<<6|j)) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// AndCard returns |b ∩ o| without materializing the intersection:
+// bitmap×bitmap chunks popcount 64 rows per word op, array×bitmap
+// chunks probe, array×array chunks merge.
+func (b *Bitmap) AndCard(o *Bitmap) int {
+	if b == nil || o == nil {
+		return 0
+	}
+	total := 0
+	i, j := 0, 0
+	for i < len(b.keys) && j < len(o.keys) {
+		switch {
+		case b.keys[i] < o.keys[j]:
+			i++
+		case b.keys[i] > o.keys[j]:
+			j++
+		default:
+			total += andCardContainers(&b.ctrs[i], &o.ctrs[j])
+			i++
+			j++
+		}
+	}
+	return total
+}
+
+// And returns b ∩ o as a fresh Bitmap.  Result containers re-choose
+// their form by cardinality: an intersection that thinned a bitmap
+// chunk below the threshold demotes it back to the array form.
+func (b *Bitmap) And(o *Bitmap) *Bitmap {
+	out := &Bitmap{}
+	if b == nil || o == nil {
+		return out
+	}
+	i, j := 0, 0
+	for i < len(b.keys) && j < len(o.keys) {
+		switch {
+		case b.keys[i] < o.keys[j]:
+			i++
+		case b.keys[i] > o.keys[j]:
+			j++
+		default:
+			if c, n := andContainers(&b.ctrs[i], &o.ctrs[j]); n > 0 {
+				out.keys = append(out.keys, b.keys[i])
+				out.ctrs = append(out.ctrs, c)
+				out.n += n
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// UnionIntoWords sets, in the flat word bitmap dst (bit r = row r), the
+// bit of every member — the word-at-a-time union the hom solver's
+// candidate pivoting accumulates posting lists through.  dst must cover
+// the full row range.
+func (b *Bitmap) UnionIntoWords(dst []uint64) {
+	if b == nil {
+		return
+	}
+	for ci, key := range b.keys {
+		base := int(key) << 10 // chunk start in words: key·2¹⁶/64
+		c := &b.ctrs[ci]
+		if c.words != nil {
+			d := dst[base:]
+			for wi, w := range c.words {
+				if wi >= len(d) {
+					break
+				}
+				d[wi] |= w
+			}
+			continue
+		}
+		for _, v := range c.arr {
+			r := uint32(key)<<16 | uint32(v)
+			dst[r>>6] |= 1 << (r & 63)
+		}
+	}
+}
+
+func andCardContainers(a, b *container) int {
+	if a.words != nil && b.words != nil {
+		n := 0
+		for wi, w := range a.words {
+			n += bits.OnesCount64(w & b.words[wi])
+		}
+		return n
+	}
+	if a.words == nil && b.words == nil {
+		n, i, j := 0, 0, 0
+		for i < len(a.arr) && j < len(b.arr) {
+			switch {
+			case a.arr[i] < b.arr[j]:
+				i++
+			case a.arr[i] > b.arr[j]:
+				j++
+			default:
+				n++
+				i++
+				j++
+			}
+		}
+		return n
+	}
+	arr, wc := a, b
+	if a.words != nil {
+		arr, wc = b, a
+	}
+	n := 0
+	for _, v := range arr.arr {
+		if wc.words[v>>6]&(1<<(v&63)) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// andContainers intersects two containers, returning the result in
+// whichever form its cardinality calls for.
+func andContainers(a, b *container) (container, int) {
+	if a.words != nil && b.words != nil {
+		words := make([]uint64, containerSpan/64)
+		n := 0
+		for wi, w := range a.words {
+			iw := w & b.words[wi]
+			words[wi] = iw
+			n += bits.OnesCount64(iw)
+		}
+		if n == 0 {
+			return container{}, 0
+		}
+		if n < arrayContainerCap {
+			// Demote: the intersection thinned out below the threshold.
+			arr := make([]uint16, 0, n)
+			for wi, w := range words {
+				for w != 0 {
+					j := bits.TrailingZeros64(w)
+					w &^= 1 << j
+					arr = append(arr, uint16(wi<<6|j))
+				}
+			}
+			return container{arr: arr}, n
+		}
+		return container{words: words}, n
+	}
+	if a.words == nil && b.words == nil {
+		var arr []uint16
+		i, j := 0, 0
+		for i < len(a.arr) && j < len(b.arr) {
+			switch {
+			case a.arr[i] < b.arr[j]:
+				i++
+			case a.arr[i] > b.arr[j]:
+				j++
+			default:
+				arr = append(arr, a.arr[i])
+				i++
+				j++
+			}
+		}
+		return container{arr: arr}, len(arr)
+	}
+	arr, wc := a, b
+	if a.words != nil {
+		arr, wc = b, a
+	}
+	var out []uint16
+	for _, v := range arr.arr {
+		if wc.words[v>>6]&(1<<(v&63)) != 0 {
+			out = append(out, v)
+		}
+	}
+	return container{arr: out}, len(out)
+}
+
+// clone returns a deep copy sharing nothing with b.
+func (b *Bitmap) clone() *Bitmap {
+	if b == nil {
+		return nil
+	}
+	c := &Bitmap{n: b.n, keys: append([]uint32(nil), b.keys...), ctrs: make([]container, len(b.ctrs))}
+	for i := range b.ctrs {
+		if b.ctrs[i].words != nil {
+			c.ctrs[i].words = append([]uint64(nil), b.ctrs[i].words...)
+		} else {
+			c.ctrs[i].arr = append([]uint16(nil), b.ctrs[i].arr...)
+		}
+	}
+	return c
+}

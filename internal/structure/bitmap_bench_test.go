@@ -1,0 +1,88 @@
+package structure
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// sliceIntersectRef is the pre-bitmap reference: sorted []int32 posting
+// lists intersected by merge, one element per step.  bench-compare pins
+// the bitmap's word-at-a-time intersection against it.
+func sliceIntersectRef(a, b []int32) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+func benchRows(rng *rand.Rand, span, n int) ([]int32, *Bitmap) {
+	seen := make(map[int32]bool, n)
+	for len(seen) < n {
+		seen[rng.Int31n(int32(span))] = true
+	}
+	rows := make([]int32, 0, n)
+	for v := range seen {
+		rows = append(rows, v)
+	}
+	// Sort for the slice reference (bitmaps sort internally).
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rows[j] < rows[j-1]; j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+	bm := &Bitmap{}
+	for _, r := range rows {
+		bm.Add(r)
+	}
+	return rows, bm
+}
+
+func benchIntersect(b *testing.B, span, n int) (sa, sb []int32, ba, bb *Bitmap) {
+	rng := rand.New(rand.NewSource(42))
+	sa, ba = benchRows(rng, span, n)
+	sb, bb = benchRows(rng, span, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	return
+}
+
+// Dense: 32k of 64k rows — bitmap containers on both sides, 64 rows/op.
+func BenchmarkIntersect_Bitmap_Dense(b *testing.B) {
+	_, _, ba, bb := benchIntersect(b, 1<<16, 1<<15)
+	for i := 0; i < b.N; i++ {
+		ba.AndCard(bb)
+	}
+}
+
+func BenchmarkIntersect_SliceRef_Dense(b *testing.B) {
+	sa, sb, _, _ := benchIntersect(b, 1<<16, 1<<15)
+	for i := 0; i < b.N; i++ {
+		sliceIntersectRef(sa, sb)
+	}
+}
+
+// Sparse: 2k rows spread over 1M — array containers, merge on both
+// sides (the bitmap must not regress the sparse regime it demotes to).
+func BenchmarkIntersect_Bitmap_Sparse(b *testing.B) {
+	_, _, ba, bb := benchIntersect(b, 1<<20, 1<<11)
+	for i := 0; i < b.N; i++ {
+		ba.AndCard(bb)
+	}
+}
+
+func BenchmarkIntersect_SliceRef_Sparse(b *testing.B) {
+	sa, sb, _, _ := benchIntersect(b, 1<<20, 1<<11)
+	for i := 0; i < b.N; i++ {
+		sliceIntersectRef(sa, sb)
+	}
+}

@@ -1,0 +1,192 @@
+package structure
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refSet is the reference model the bitmap is checked against.
+type refSet map[int32]bool
+
+func refAndCard(a, b refSet) int {
+	n := 0
+	for v := range a {
+		if b[v] {
+			n++
+		}
+	}
+	return n
+}
+
+// buildBoth inserts rows into a Bitmap and the reference model.
+func buildBoth(rows []int32) (*Bitmap, refSet) {
+	bm, ref := &Bitmap{}, refSet{}
+	for _, r := range rows {
+		added := bm.Add(r)
+		if added == ref[r] {
+			panic("Add novelty disagrees with reference")
+		}
+		ref[r] = true
+	}
+	return bm, ref
+}
+
+// containerSizes are cardinalities straddling the array↔bitmap
+// promotion threshold, plus small and word-boundary sizes.
+var containerSizes = []int{0, 1, 2, 63, 64, 65, arrayContainerCap - 1, arrayContainerCap, arrayContainerCap + 1, 3 * arrayContainerCap}
+
+func TestBitmapContainerBoundarySizes(t *testing.T) {
+	for _, n := range containerSizes {
+		rows := make([]int32, n)
+		for i := range rows {
+			rows[i] = int32(i * 3) // spread within one chunk for n ≤ 21845, beyond for larger
+		}
+		bm, ref := buildBoth(rows)
+		if bm.Len() != len(ref) {
+			t.Fatalf("n=%d: Len %d != %d", n, bm.Len(), len(ref))
+		}
+		// Promotion: a single-chunk container at or past the threshold
+		// must be in bitmap form; below it, array form.
+		if n > 0 && n < arrayContainerCap && int32(3*(n-1)) < containerSpan {
+			if bm.ctrs[0].words != nil {
+				t.Fatalf("n=%d: container promoted below threshold", n)
+			}
+		}
+		got := 0
+		prev := int32(-1)
+		bm.ForEach(func(r int32) bool {
+			if r <= prev {
+				t.Fatalf("n=%d: ForEach out of order (%d after %d)", n, r, prev)
+			}
+			prev = r
+			if !ref[r] {
+				t.Fatalf("n=%d: ForEach visited non-member %d", n, r)
+			}
+			got++
+			return true
+		})
+		if got != len(ref) {
+			t.Fatalf("n=%d: ForEach visited %d members, want %d", n, got, len(ref))
+		}
+		for _, r := range rows {
+			if !bm.Contains(r) {
+				t.Fatalf("n=%d: Contains(%d) = false", n, r)
+			}
+		}
+		if bm.Contains(int32(3*n + 1)) {
+			t.Fatalf("n=%d: Contains reported non-member", n)
+		}
+	}
+}
+
+func TestBitmapPromotionAtThreshold(t *testing.T) {
+	bm := &Bitmap{}
+	for i := 0; i < arrayContainerCap-1; i++ {
+		bm.Add(int32(i))
+	}
+	if bm.ctrs[0].words != nil {
+		t.Fatal("container promoted one below the threshold")
+	}
+	bm.Add(int32(arrayContainerCap - 1))
+	if bm.ctrs[0].words == nil {
+		t.Fatal("container not promoted at the threshold")
+	}
+	if bm.Len() != arrayContainerCap {
+		t.Fatalf("Len %d after promotion, want %d", bm.Len(), arrayContainerCap)
+	}
+	for i := 0; i < arrayContainerCap; i++ {
+		if !bm.Contains(int32(i)) {
+			t.Fatalf("member %d lost across promotion", i)
+		}
+	}
+}
+
+// And results must re-choose container form: intersecting two dense
+// (bitmap-form) chunks down to a sparse result demotes to array form.
+func TestBitmapAndDemotesSparseResult(t *testing.T) {
+	a, b := &Bitmap{}, &Bitmap{}
+	for i := 0; i < 2*arrayContainerCap; i++ {
+		a.Add(int32(2 * i)) // evens
+		b.Add(int32(3 * i)) // multiples of 3
+	}
+	if a.ctrs[0].words == nil || b.ctrs[0].words == nil {
+		t.Fatal("inputs expected in bitmap form")
+	}
+	got := a.And(b)
+	want := 0
+	for i := 0; i < 4*arrayContainerCap; i += 6 { // multiples of 6 in [0, 4·cap)
+		if !got.Contains(int32(i)) {
+			t.Fatalf("And lost member %d", i)
+		}
+		want++
+	}
+	if got.Len() != want {
+		t.Fatalf("And card %d, want %d", got.Len(), want)
+	}
+	if got.ctrs[0].words != nil && got.ctrs[0].card() < arrayContainerCap {
+		t.Fatal("sparse And result not demoted to array form")
+	}
+	if got.Len() != a.AndCard(b) || got.Len() != b.AndCard(a) {
+		t.Fatal("AndCard disagrees with And")
+	}
+}
+
+func TestBitmapRandomDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		// Mix densities and chunk spreads, including cross-chunk rows
+		// and out-of-order inserts.
+		span := int32(1 << uint(10+rng.Intn(10))) // up to ~1M
+		na, nb := rng.Intn(5000), rng.Intn(5000)
+		rowsA := make([]int32, na)
+		rowsB := make([]int32, nb)
+		for i := range rowsA {
+			rowsA[i] = rng.Int31n(span)
+		}
+		for i := range rowsB {
+			rowsB[i] = rng.Int31n(span)
+		}
+		a, refA := buildBoth(rowsA)
+		b, refB := buildBoth(rowsB)
+		if a.Len() != len(refA) || b.Len() != len(refB) {
+			t.Fatalf("trial %d: Len mismatch", trial)
+		}
+		wantCard := refAndCard(refA, refB)
+		if got := a.AndCard(b); got != wantCard {
+			t.Fatalf("trial %d: AndCard %d, want %d", trial, got, wantCard)
+		}
+		inter := a.And(b)
+		if inter.Len() != wantCard {
+			t.Fatalf("trial %d: And card %d, want %d", trial, inter.Len(), wantCard)
+		}
+		inter.ForEach(func(r int32) bool {
+			if !refA[r] || !refB[r] {
+				t.Fatalf("trial %d: And contains non-member %d", trial, r)
+			}
+			return true
+		})
+		// Union via words equals the reference union.
+		words := make([]uint64, (span+63)/64)
+		a.UnionIntoWords(words)
+		b.UnionIntoWords(words)
+		got := 0
+		for _, w := range words {
+			for w != 0 {
+				w &= w - 1
+				got++
+			}
+		}
+		union := len(refA) + len(refB) - wantCard
+		if got != union {
+			t.Fatalf("trial %d: word union card %d, want %d", trial, got, union)
+		}
+		// Clone shares nothing.
+		cl := a.clone()
+		for r := range refB {
+			cl.Add(r)
+		}
+		if a.Len() != len(refA) {
+			t.Fatalf("trial %d: clone mutation leaked into original", trial)
+		}
+	}
+}

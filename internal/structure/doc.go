@@ -6,7 +6,13 @@
 // Universes are finite, non-empty sets of named elements.  Each relation
 // is held in a columnar Relation store: flat []int32 columns, a
 // packed-key tuple set for O(1) dedup/membership, and per-position
-// posting lists maintained incrementally on insertion.  Consumers
+// posting lists maintained incrementally on insertion.  Posting lists
+// are two-level roaring-style bitmaps (Bitmap): rows chunk by row>>16
+// into sorted-uint16 array containers (sparse) or 1024-word bitmap
+// containers (dense, promoted at 4096 entries), so membership is O(1),
+// intersection (And/AndCard) runs 64 rows per machine word on dense
+// chunks, and the hom solver unions lists straight into word-aligned
+// candidate masks (UnionIntoWords).  Consumers
 // iterate allocation-free with ForEachTuple/ForEachWith or access
 // columns through Rel; the materializing [][]int accessors Tuples and
 // TuplesWith are deprecated compatibility shims retained for the

@@ -4,12 +4,15 @@ import "sync"
 
 // Relation is the columnar store of one relation's tuple set: a flat
 // []int32 column per position, a packed-key TupleSet for O(1)
-// dedup/membership, and per-position posting lists (value → row ids)
-// that are maintained incrementally on every insert — never rebuilt from
-// scratch.  Rows are exposed through allocation-free iteration
-// (ForEachTuple, ForEachWith) and row views; the [][]int representation
-// survives only as the deprecated Tuples compatibility shim on
-// Structure.
+// dedup/membership, and per-position posting lists (value → row-id
+// Bitmap) that are maintained incrementally on every insert — never
+// rebuilt from scratch.  Postings are roaring-style Bitmaps (bitmap.go):
+// array containers while sparse, packed bitmap containers once dense, so
+// consumers union and intersect candidate rows 64 per word op instead of
+// one element at a time.  Rows are exposed through allocation-free
+// iteration (ForEachTuple, ForEachWith) and row views; the [][]int
+// representation survives only as the deprecated Tuples compatibility
+// shim on Structure.
 //
 // A Relation is mutated only through its owning Structure (single
 // mutator); any number of goroutines may read it concurrently between
@@ -17,8 +20,8 @@ import "sync"
 type Relation struct {
 	name  string
 	arity int
-	cols  [][]int32          // per position, len == Len()
-	posts []map[int32][]int32 // per position: value → row ids, insertion order
+	cols  [][]int32           // per position, len == Len()
+	posts []map[int32]*Bitmap // per position: value → row-id bitmap
 	set   *TupleSet
 
 	// rowCache backs the deprecated Tuples shim: materialized [][]int
@@ -32,11 +35,11 @@ func newRelation(name string, arity int) *Relation {
 		name:  name,
 		arity: arity,
 		cols:  make([][]int32, arity),
-		posts: make([]map[int32][]int32, arity),
+		posts: make([]map[int32]*Bitmap, arity),
 		set:   NewTupleSet(arity),
 	}
 	for p := range r.posts {
-		r.posts[p] = make(map[int32][]int32)
+		r.posts[p] = make(map[int32]*Bitmap)
 	}
 	return r
 }
@@ -65,7 +68,12 @@ func (r *Relation) add(t []int) bool {
 	row := int32(len(r.cols[0]))
 	for p, v := range t {
 		r.cols[p] = append(r.cols[p], int32(v))
-		r.posts[p][int32(v)] = append(r.posts[p][int32(v)], row)
+		bm := r.posts[p][int32(v)]
+		if bm == nil {
+			bm = &Bitmap{}
+			r.posts[p][int32(v)] = bm
+		}
+		bm.Add(row)
 	}
 	r.rowMu.Lock()
 	r.rowCache = nil
@@ -140,25 +148,23 @@ func (r *Relation) ForEachTupleIn(lo, hi int, fn func(t []int) bool) {
 }
 
 // ForEachWith visits every tuple whose position pos holds value v, via
-// the posting list — no relation scan, no allocation beyond the shared
+// the posting bitmap — no relation scan, no allocation beyond the shared
 // row buffer.  Returning false stops the iteration.
 func (r *Relation) ForEachWith(pos, v int, fn func(t []int) bool) {
 	if r == nil || pos < 0 || pos >= r.arity {
 		return
 	}
-	rows := r.posts[pos][int32(v)]
-	if len(rows) == 0 {
+	bm := r.posts[pos][int32(v)]
+	if bm.Len() == 0 {
 		return
 	}
 	buf := make([]int, r.arity)
-	for _, i := range rows {
+	bm.ForEach(func(i int32) bool {
 		for p := range r.cols {
 			buf[p] = int(r.cols[p][i])
 		}
-		if !fn(buf) {
-			return
-		}
-	}
+		return fn(buf)
+	})
 }
 
 // PostingLen returns the number of tuples holding v at position pos —
@@ -167,12 +173,12 @@ func (r *Relation) PostingLen(pos, v int) int {
 	if r == nil || pos < 0 || pos >= r.arity {
 		return 0
 	}
-	return len(r.posts[pos][int32(v)])
+	return r.posts[pos][int32(v)].Len()
 }
 
-// RowsWith returns the posting list (row ids) of value v at position pos
-// as a shared read-only view.
-func (r *Relation) RowsWith(pos, v int) []int32 {
+// RowsWith returns the posting bitmap (row ids) of value v at position
+// pos as a shared read-only view; nil means no row holds v there.
+func (r *Relation) RowsWith(pos, v int) *Bitmap {
 	if r == nil || pos < 0 || pos >= r.arity {
 		return nil
 	}
@@ -209,14 +215,14 @@ func (r *Relation) clone() *Relation {
 		name:  r.name,
 		arity: r.arity,
 		cols:  make([][]int32, r.arity),
-		posts: make([]map[int32][]int32, r.arity),
+		posts: make([]map[int32]*Bitmap, r.arity),
 		set:   r.set.clone(),
 	}
 	for p := range r.cols {
 		c.cols[p] = append([]int32(nil), r.cols[p]...)
-		c.posts[p] = make(map[int32][]int32, len(r.posts[p]))
+		c.posts[p] = make(map[int32]*Bitmap, len(r.posts[p]))
 		for v, rows := range r.posts[p] {
-			c.posts[p][v] = append([]int32(nil), rows...)
+			c.posts[p][v] = rows.clone()
 		}
 	}
 	return c

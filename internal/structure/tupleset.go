@@ -2,20 +2,34 @@ package structure
 
 // TupleSet is a deduplicating set of fixed-width int tuples.  Tuples whose
 // values fit the packed budget (64/width bits per value) are keyed as
-// uint64 with no per-insert allocation; oversized values spill to a
-// byte-string-keyed fallback map that is allocated lazily and, in
-// practice, never.  It backs the per-relation dedup sets of the columnar
-// store and the projection dedup of the engine's constraint
-// materializer.
+// uint64 in an open-addressing table with no per-insert allocation;
+// oversized values spill to a byte-string-keyed fallback map that is
+// allocated lazily and, in practice, never.  It backs the per-relation
+// dedup sets of the columnar store and the projection dedup of the
+// engine's constraint materializer.
 //
 // The zero value is not usable; construct with NewTupleSet.  A TupleSet
 // is not safe for concurrent mutation.
 type TupleSet struct {
-	width int
-	shift uint // bits per packed value; 0 disables packing (width > 64)
-	pk    map[uint64]struct{}
-	sk    map[string]struct{} // lazily allocated spill path
-	n     int
+	width   int
+	shift   uint     // bits per packed value; 0 disables packing (width > 64)
+	slots   []uint64 // open addressing, linear probing; 0 = empty slot
+	mask    uint64
+	used    int                 // occupied slots (excludes the zero key)
+	hasZero bool                // the all-zeros tuple, whose packed key is 0
+	sk      map[string]struct{} // lazily allocated spill path
+	n       int
+}
+
+// tsMix is the splitmix64 finalizer: a bijective scramble spreading
+// packed keys (which concentrate in low bits) across the table.
+func tsMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // NewTupleSet returns an empty set of width-ary tuples.
@@ -27,9 +41,21 @@ func NewTupleSet(width int) *TupleSet {
 	if width > 0 && width <= 64 {
 		shift = uint(64 / width)
 	}
-	ts := &TupleSet{width: width, shift: shift}
-	if shift > 0 {
-		ts.pk = make(map[uint64]struct{})
+	return &TupleSet{width: width, shift: shift}
+}
+
+// NewTupleSetSized is NewTupleSet with capacity for n tuples reserved up
+// front, so bulk insertion skips the doubling rehashes.  n is a hint; the
+// set still grows past it.
+func NewTupleSetSized(width, n int) *TupleSet {
+	ts := NewTupleSet(width)
+	if ts.shift > 0 && n > 0 {
+		capN := 16
+		for capN < 2*(n+1) {
+			capN *= 2
+		}
+		ts.slots = make([]uint64, capN)
+		ts.mask = uint64(capN - 1)
 	}
 	return ts
 }
@@ -51,6 +77,75 @@ func (ts *TupleSet) pack(t []int) (uint64, bool) {
 		k = k<<ts.shift | uint64(v)
 	}
 	return k, true
+}
+
+// addPacked inserts packed key k, reporting whether it was absent.
+// Load is kept at or below 1/2 so unsuccessful probes stay short.
+func (ts *TupleSet) addPacked(k uint64) bool {
+	if k == 0 {
+		if ts.hasZero {
+			return false
+		}
+		ts.hasZero = true
+		return true
+	}
+	if 2*(ts.used+1) > len(ts.slots) {
+		ts.growSlots()
+	}
+	h := tsMix(k) & ts.mask
+	for {
+		s := ts.slots[h]
+		if s == 0 {
+			ts.slots[h] = k
+			ts.used++
+			return true
+		}
+		if s == k {
+			return false
+		}
+		h = (h + 1) & ts.mask
+	}
+}
+
+func (ts *TupleSet) growSlots() {
+	newCap := 2 * len(ts.slots)
+	if newCap < 16 {
+		newCap = 16
+	}
+	old := ts.slots
+	ts.slots = make([]uint64, newCap)
+	ts.mask = uint64(newCap - 1)
+	for _, k := range old {
+		if k == 0 {
+			continue
+		}
+		h := tsMix(k) & ts.mask
+		for ts.slots[h] != 0 {
+			h = (h + 1) & ts.mask
+		}
+		ts.slots[h] = k
+	}
+}
+
+// containsPacked reports whether packed key k is present.
+func (ts *TupleSet) containsPacked(k uint64) bool {
+	if k == 0 {
+		return ts.hasZero
+	}
+	if len(ts.slots) == 0 {
+		return false
+	}
+	h := tsMix(k) & ts.mask
+	for {
+		s := ts.slots[h]
+		if s == 0 {
+			return false
+		}
+		if s == k {
+			return true
+		}
+		h = (h + 1) & ts.mask
+	}
 }
 
 // TupleKey encodes vals as an exact byte-string map key, 8 bytes
@@ -90,10 +185,9 @@ func (ts *TupleSet) Add(t []int) bool {
 		return false
 	}
 	if k, ok := ts.pack(t); ok {
-		if _, dup := ts.pk[k]; dup {
+		if !ts.addPacked(k) {
 			return false
 		}
-		ts.pk[k] = struct{}{}
 		ts.n++
 		return true
 	}
@@ -115,8 +209,7 @@ func (ts *TupleSet) Contains(t []int) bool {
 		return ts.n > 0
 	}
 	if k, ok := ts.pack(t); ok {
-		_, present := ts.pk[k]
-		return present
+		return ts.containsPacked(k)
 	}
 	if ts.sk == nil {
 		return false
@@ -127,12 +220,10 @@ func (ts *TupleSet) Contains(t []int) bool {
 
 // clone returns a deep copy of the set.
 func (ts *TupleSet) clone() *TupleSet {
-	c := &TupleSet{width: ts.width, shift: ts.shift, n: ts.n}
-	if ts.pk != nil {
-		c.pk = make(map[uint64]struct{}, len(ts.pk))
-		for k := range ts.pk {
-			c.pk[k] = struct{}{}
-		}
+	c := &TupleSet{width: ts.width, shift: ts.shift, used: ts.used, hasZero: ts.hasZero, n: ts.n}
+	if ts.slots != nil {
+		c.slots = append([]uint64(nil), ts.slots...)
+		c.mask = ts.mask
 	}
 	if ts.sk != nil {
 		c.sk = make(map[string]struct{}, len(ts.sk))

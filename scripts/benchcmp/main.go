@@ -1,0 +1,201 @@
+// Command benchcmp compares two `go test -bench` output files without
+// external tooling: it takes the per-benchmark median of however many
+// -count runs each file holds and prints old vs new ns/op, B/op, and
+// allocs/op side by side.
+//
+// Usage:
+//
+//	go run ./scripts/benchcmp [-allocguard REGEX] old.txt new.txt
+//
+// With -allocguard, the command exits non-zero if any benchmark whose
+// name matches REGEX allocates more objects per op in new.txt than in
+// old.txt — the allocation-regression guard `make bench-compare` runs
+// over the intersection and index-probe micro-benchmarks.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one benchmark line's measurements.
+type sample struct {
+	nsPerOp     float64
+	bytesPerOp  float64
+	allocsPerOp float64
+	hasMem      bool
+}
+
+// result is the per-benchmark median across a file's -count runs.
+type result struct {
+	name string
+	sample
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+func parseFile(path string) (map[string][]sample, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	runs := make(map[string][]sample)
+	var order []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		var s sample
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.nsPerOp = v
+			case "B/op":
+				s.bytesPerOp = v
+				s.hasMem = true
+			case "allocs/op":
+				s.allocsPerOp = v
+				s.hasMem = true
+			}
+		}
+		if _, seen := runs[m[1]]; !seen {
+			order = append(order, m[1])
+		}
+		runs[m[1]] = append(runs[m[1]], s)
+	}
+	return runs, order, sc.Err()
+}
+
+func median(ss []sample, get func(sample) float64) float64 {
+	vs := make([]float64, len(ss))
+	for i, s := range ss {
+		vs[i] = get(s)
+	}
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
+}
+
+func medians(runs map[string][]sample, order []string) []result {
+	out := make([]result, 0, len(order))
+	for _, name := range order {
+		ss := runs[name]
+		r := result{name: name}
+		r.nsPerOp = median(ss, func(s sample) float64 { return s.nsPerOp })
+		r.bytesPerOp = median(ss, func(s sample) float64 { return s.bytesPerOp })
+		r.allocsPerOp = median(ss, func(s sample) float64 { return s.allocsPerOp })
+		r.hasMem = ss[0].hasMem
+		out = append(out, r)
+	}
+	return out
+}
+
+func fmtNs(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fms", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2fµs", v/1e3)
+	default:
+		return fmt.Sprintf("%.1fns", v)
+	}
+}
+
+func main() {
+	allocGuard := flag.String("allocguard", "", "fail if allocs/op rose for benchmarks matching this regex")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-allocguard REGEX] old.txt new.txt")
+		os.Exit(2)
+	}
+	var guard *regexp.Regexp
+	if *allocGuard != "" {
+		var err error
+		if guard, err = regexp.Compile(*allocGuard); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcmp:", err)
+			os.Exit(2)
+		}
+	}
+	oldRuns, oldOrder, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	newRuns, _, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	oldMed := medians(oldRuns, oldOrder)
+	newByName := make(map[string]result)
+	for _, r := range medians(newRuns, sortedKeys(newRuns)) {
+		newByName[r.name] = r
+	}
+
+	fmt.Printf("%-44s %12s %12s %8s %14s\n", "benchmark (medians)", "old ns/op", "new ns/op", "delta", "allocs old→new")
+	var regressions []string
+	guarded := 0
+	for _, o := range oldMed {
+		n, ok := newByName[o.name]
+		if !ok {
+			fmt.Printf("%-44s %12s %12s %8s %14s\n", o.name, fmtNs(o.nsPerOp), "-", "-", "-")
+			continue
+		}
+		delta := "-"
+		if o.nsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(n.nsPerOp-o.nsPerOp)/o.nsPerOp)
+		}
+		allocs := "-"
+		if o.hasMem && n.hasMem {
+			allocs = fmt.Sprintf("%.0f→%.0f", o.allocsPerOp, n.allocsPerOp)
+		}
+		fmt.Printf("%-44s %12s %12s %8s %14s\n", o.name, fmtNs(o.nsPerOp), fmtNs(n.nsPerOp), delta, allocs)
+		if guard != nil && guard.MatchString(o.name) && o.hasMem && n.hasMem {
+			guarded++
+			if n.allocsPerOp > o.allocsPerOp {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.1f → %.1f allocs/op", o.name, o.allocsPerOp, n.allocsPerOp))
+			}
+		}
+	}
+	if guard != nil {
+		if guarded == 0 {
+			fmt.Fprintf(os.Stderr, "benchcmp: allocation guard %q matched no benchmarks present in both files\n", *allocGuard)
+			os.Exit(1)
+		}
+		if len(regressions) > 0 {
+			fmt.Fprintln(os.Stderr, "benchcmp: allocation regressions:")
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("allocation guard: %d benchmark(s) checked, no regressions\n", guarded)
+	}
+}
+
+func sortedKeys(m map[string][]sample) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
