@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet doccheck bench bench-smoke bench-baseline bench-compare fuzz-smoke
+.PHONY: build test race vet doccheck bench bench-smoke bench-baseline bench-compare fuzz-smoke crash-smoke
 
 # Hot-path micro-benchmarks the bench-baseline / bench-compare pair
 # tracks: bitmap intersection, prefix-index probe+build, memo-warm batch
@@ -64,3 +64,13 @@ fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzParseQuery -fuzztime 10s ./internal/parser
 	$(GO) test -run XXX -fuzz FuzzParseStructure -fuzztime 10s ./internal/parser
 	$(GO) test -run XXX -fuzz FuzzFingerprintInvariance -fuzztime 10s ./internal/term
+	$(GO) test -run XXX -fuzz FuzzWALRecordDecode -fuzztime 10s ./internal/wal
+	$(GO) test -run XXX -fuzz FuzzSnapshotDecode -fuzztime 10s ./internal/wal
+
+# Crash-recovery fault matrix under the race detector: every-byte-prefix
+# and every-bit-flip WAL recovery, kill-restart differentials (torn tail
+# + dropped page cache) at both the store and serving layers, compaction
+# crash points, and the shutdown writer-drain regression test.
+crash-smoke:
+	$(GO) test -race -count=1 ./internal/wal
+	$(GO) test -race -count=1 -run 'TestServeRecovery|TestAppendIdempotency|TestShutdownDrains|TestHealthz|TestServerRestart|TestKillRestartLiveStream|TestCompactionUnderLoad' ./internal/serve

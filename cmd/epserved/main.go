@@ -10,20 +10,28 @@
 //	epserved -addr :8080
 //	epserved -addr :8080 -workers 8 -max-inflight 128 -timeout 10s
 //	epserved -load social=social.facts -load web=web.facts
+//	epserved -data-dir /var/lib/epserved -fsync always
 //
 // Endpoints:
 //
 //	POST /structures              {"name":..., "facts":..., "signature":[{"name":"E","arity":2}]?}
 //	GET  /structures              list registered structures
 //	GET  /structures/{name}       one structure's metadata
-//	POST /structures/{name}/facts {"facts": ...}   append (atomic, invalidates sessions)
+//	POST /structures/{name}/facts {"facts":..., "batch_id"?}   append (atomic, idempotent per batch_id)
 //	POST /count                   {"query":..., "structure":..., "engine"?, "timeout_ms"?}
 //	POST /countBatch              {"query":..., "structures":[...], ...}
 //	GET  /stats                   admission + per-query + session telemetry
-//	GET  /healthz                 liveness
+//	GET  /healthz                 liveness ("recovering" 503 vs "ready" 200)
 //
-// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes and
-// in-flight requests drain (up to -drain).
+// With -data-dir, every structure creation and append batch is
+// write-ahead logged (fsynced per -fsync) and periodically compacted
+// into columnar snapshots; on start the directory is recovered —
+// snapshots load, the WAL tail replays, torn or corrupt suffixes are
+// truncated — before the listener accepts.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
+// in-flight requests drain (up to -drain), and the durability store
+// flushes and closes after the last append writer finishes.
 package main
 
 import (
@@ -61,6 +69,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "per-request counting deadline (0 = 30s); requests may lower it via timeout_ms")
 		queryCap  = flag.Int("query-cache", 0, "compiled-query cache capacity (0 = 256)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for in-flight requests")
+		dataDir   = flag.String("data-dir", "", "durability directory (WAL + snapshots); empty = in-memory only")
+		fsync     = flag.String("fsync", "batch", "WAL sync policy with -data-dir: always | batch | never")
 		loadSpecs []loadSpec
 	)
 	flag.Func("load", "preload a structure at startup as name=factfile (repeatable)", func(s string) error {
@@ -73,33 +83,64 @@ func main() {
 	})
 	flag.Parse()
 
-	if err := run(*addr, *workers, *inflight, *timeout, *queryCap, *drain, loadSpecs); err != nil {
+	if err := run(*addr, *workers, *inflight, *timeout, *queryCap, *drain, *dataDir, *fsync, loadSpecs); err != nil {
 		fmt.Fprintln(os.Stderr, "epserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, inflight int, timeout time.Duration, queryCap int, drain time.Duration, loads []loadSpec) error {
+func run(addr string, workers, inflight int, timeout time.Duration, queryCap int, drain time.Duration, dataDir, fsync string, loads []loadSpec) error {
 	srv := serve.New(serve.Config{
 		Addr:           addr,
 		Workers:        workers,
 		MaxInFlight:    inflight,
 		RequestTimeout: timeout,
 		QueryCacheCap:  queryCap,
+		DataDir:        dataDir,
+		Fsync:          fsync,
 	})
-	for _, ls := range loads {
-		facts, err := os.ReadFile(ls.path)
-		if err != nil {
+	// Without a data dir, preloads land before the listener opens.  With
+	// one, they run after Start's recovery so the creations are logged
+	// durably — and a -load name the data dir already holds is skipped
+	// (the recovered state wins; reloading it every boot would conflict).
+	preload := func() error {
+		for _, ls := range loads {
+			facts, err := os.ReadFile(ls.path)
+			if err != nil {
+				return err
+			}
+			info, err := srv.Registry().CreateStructure(ls.name, string(facts), nil)
+			if err != nil {
+				if dataDir != "" && serve.IsDuplicate(err) {
+					fmt.Fprintf(os.Stderr, "epserved: %s already in data dir; skipping -load\n", ls.name)
+					continue
+				}
+				return fmt.Errorf("preload %s: %w", ls.name, err)
+			}
+			fmt.Fprintf(os.Stderr, "epserved: loaded %s (%d elements, %d tuples)\n", info.Name, info.Size, info.Tuples)
+		}
+		return nil
+	}
+	if dataDir == "" {
+		if err := preload(); err != nil {
 			return err
 		}
-		info, err := srv.Registry().CreateStructure(ls.name, string(facts), nil)
-		if err != nil {
-			return fmt.Errorf("preload %s: %w", ls.name, err)
-		}
-		fmt.Fprintf(os.Stderr, "epserved: loaded %s (%d elements, %d tuples)\n", info.Name, info.Size, info.Tuples)
 	}
 	if err := srv.Start(); err != nil {
 		return err
+	}
+	if dataDir != "" {
+		if err := preload(); err != nil {
+			return err
+		}
+	}
+	if dataDir != "" {
+		d := srv.Registry().DurabilityStats()
+		fmt.Fprintf(os.Stderr, "epserved: recovered %d structures (%d snapshots, %d WAL records) from %s; fsync=%s\n",
+			d.RecoveredStructures, d.RecoveredSnapshots, d.RecoveredRecords, dataDir, d.Fsync)
+		if d.TruncatedTail {
+			fmt.Fprintln(os.Stderr, "epserved: WARNING: a torn or corrupt WAL tail was truncated during recovery")
+		}
 	}
 	fmt.Fprintf(os.Stderr, "epserved: listening on %s\n", srv.Addr())
 

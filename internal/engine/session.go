@@ -546,7 +546,15 @@ func SessionFor(b *structure.Structure) *Session {
 			return e.s
 		}
 		ns := NewSession(b)
-		ns.prior = e.s.settledCounts()
+		if e.s.version < v {
+			// Priors are advanceable only FORWARD: the delta path
+			// reconciles "state at e.s.version" up to v by scanning the
+			// rows appended in between.  A version that moved backwards
+			// (the structure was rebuilt or replaced underneath us, e.g.
+			// by recovery tooling) has no such delta, so the stale
+			// session's counts are unusable — drop them.
+			ns.prior = e.s.settledCounts()
+		}
 		sessions[b] = &sessionEntry{s: ns, use: sessionClock}
 		e.s.retire()
 		return ns

@@ -1,7 +1,10 @@
 // Package experiments implements the reproduction experiment suite
 // E1–E10 and the ablations A1–A5 documented in DESIGN.md §4, plus the
 // system-level S-series (S1: epserved service throughput under
-// concurrent HTTP clients).  The paper is a theory paper with no
+// concurrent HTTP clients; S2: delta maintenance on append streams)
+// and D-series (D1: durability cost by fsync policy, every row
+// validated by close + recover-from-disk).  The paper is a theory
+// paper with no
 // measurement tables; each experiment operationalizes one worked
 // example or theorem as a table of measured results, so that
 // `cmd/epbench` (and the root benchmarks) can regenerate "the paper's

@@ -33,6 +33,12 @@ type CreateStructureRequest struct {
 // observes either the whole batch or none of it.
 type AppendFactsRequest struct {
 	Facts string `json:"facts"`
+	// BatchID is an optional client-chosen idempotency id for the batch.
+	// A non-empty id makes the append safely retryable: if the server
+	// has recently applied a batch with the same id to this structure —
+	// including before a crash, the memo survives recovery — it returns
+	// the original response instead of re-applying, and echoes the id.
+	BatchID string `json:"batch_id,omitempty"`
 }
 
 // StructureInfo describes one registered structure.  Version increases
@@ -50,6 +56,9 @@ type StructureInfo struct {
 	// response actually inserted (dedup-aware: duplicates in the batch
 	// or already present do not count).  Zero outside append responses.
 	Inserted int `json:"inserted,omitempty"`
+	// BatchID echoes the append request's idempotency id (append
+	// responses only; empty when the client sent none).
+	BatchID string `json:"batch_id,omitempty"`
 }
 
 // StructuresResponse lists the registry.
@@ -163,10 +172,46 @@ type AdmissionStats struct {
 	Deadline uint64 `json:"deadline"`
 }
 
+// DurabilityStats is the /stats durability section: whether a store is
+// attached, its fsync policy and WAL size, operation counters, and what
+// boot recovery consumed.
+type DurabilityStats struct {
+	// Enabled reports whether the server runs with a durability store
+	// (-data-dir); everything below is zero when it does not.
+	Enabled bool `json:"enabled"`
+	// Fsync is the active WAL sync policy ("always", "batch", "never").
+	Fsync string `json:"fsync,omitempty"`
+	// WALBytes is the current write-ahead log size.
+	WALBytes int64 `json:"wal_bytes,omitempty"`
+	// Appends / Creates count records logged since start; Compactions
+	// counts snapshot-then-truncate cycles; Syncs counts WAL fsyncs.
+	Appends     uint64 `json:"appends,omitempty"`
+	Creates     uint64 `json:"creates,omitempty"`
+	Compactions uint64 `json:"compactions,omitempty"`
+	Syncs       uint64 `json:"syncs,omitempty"`
+	// RecoveredStructures / RecoveredSnapshots / RecoveredRecords say
+	// what boot recovery rebuilt; TruncatedTail reports whether a torn
+	// or corrupt WAL suffix was cut during that recovery.
+	RecoveredStructures int  `json:"recovered_structures,omitempty"`
+	RecoveredSnapshots  int  `json:"recovered_snapshots,omitempty"`
+	RecoveredRecords    int  `json:"recovered_records,omitempty"`
+	TruncatedTail       bool `json:"truncated_tail,omitempty"`
+}
+
+// HealthzResponse is the /healthz body.  State is "recovering" while
+// boot recovery replays the store (served 503 — the listener is not yet
+// accepting then, but in-process handlers can observe it), "ready" when
+// serving.
+type HealthzResponse struct {
+	OK    bool   `json:"ok"`
+	State string `json:"state"`
+}
+
 // StatsResponse is the /stats snapshot: admission telemetry, the
 // per-query counter statistics, the structure registry, the
 // process-wide engine session registry, the incremental-maintenance
-// counters, and the number of registered subscriptions.
+// counters, the number of registered subscriptions, and the durability
+// layer.
 type StatsResponse struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
 	Admission     AdmissionStats           `json:"admission"`
@@ -176,6 +221,7 @@ type StatsResponse struct {
 	Sessions      engine.SessionCacheStats `json:"sessions"`
 	Delta         engine.DeltaCounters     `json:"delta"`
 	Subscriptions int                      `json:"subscriptions"`
+	Durability    DurabilityStats          `json:"durability"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response.

@@ -7,92 +7,226 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 )
+
+// RetryPolicy configures the client's capped-exponential-backoff retry
+// loop.  Retries apply ONLY to idempotent operations: reads (listings,
+// /count, /countBatch — pure queries), the health and stats endpoints,
+// and appends that carry a client-supplied idempotency batch id (the
+// server dedups replays, so a retried batch cannot double-apply).
+// Creates, subscribes, unsubscribes, and appends without a batch id
+// never retry — a lost response would make a replay non-idempotent.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (≤ 1 disables retry).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further
+	// retry doubles it, capped at MaxDelay, with ±50% jitter.  A 503's
+	// Retry-After header overrides the computed delay when larger.
+	BaseDelay time.Duration
+	// MaxDelay caps the per-retry backoff.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy retries up to 4 attempts with 50ms base backoff
+// capped at 2s.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+}
 
 // Client is a typed HTTP client for an epserved server.  The zero
 // value is not usable; call NewClient.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
+	// sleep pauses between retries (swapped out by tests).
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 // NewClient returns a client for the server at base (e.g.
 // "http://127.0.0.1:8080").  hc may be nil for http.DefaultClient.
+// The client does not retry; see WithRetry.
 func NewClient(base string, hc *http.Client) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc, sleep: sleepCtx}
+}
+
+// WithRetry returns a copy of the client that retries idempotent
+// operations per the policy (see RetryPolicy for what qualifies):
+// transient transport errors and 503 responses back off exponentially
+// with jitter, honoring Retry-After.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	cc := *c
+	cc.retry = p
+	return &cc
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // do sends a JSON request and decodes the JSON response into out,
 // mapping non-2xx responses to errors carrying the server's message.
-func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+// Idempotent requests retry per the client's policy; the request body
+// is re-marshalled bytes, safe to replay.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, idempotent bool) error {
+	var payload []byte
 	if in != nil {
 		data, err := json.Marshal(in)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(data)
+		payload = data
+	}
+	attempts := 1
+	if idempotent && c.retry.MaxAttempts > 1 {
+		attempts = c.retry.MaxAttempts
+	}
+	var lastErr error
+	var hint time.Duration // server's Retry-After, if any
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, c.backoff(attempt, hint)); err != nil {
+				return lastErr
+			}
+		}
+		retryable, retryAfter, err := c.doOnce(ctx, method, path, payload, in != nil, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable || ctx.Err() != nil {
+			return err
+		}
+		hint = retryAfter
+	}
+	return lastErr
+}
+
+// backoff computes the delay before retry #attempt: exponential from
+// BaseDelay, capped at MaxDelay, ±50% jitter, floored at the server's
+// Retry-After hint.
+func (c *Client) backoff(attempt int, hint time.Duration) time.Duration {
+	base := c.retry.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxd := c.retry.MaxDelay
+	if maxd <= 0 {
+		maxd = 2 * time.Second
+	}
+	d := base << uint(attempt-1)
+	if d > maxd || d <= 0 {
+		d = maxd
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	if hint > d {
+		d = hint
+	}
+	if d > maxd {
+		d = maxd
+	}
+	return d
+}
+
+// doOnce performs one HTTP round trip.  retryable reports whether the
+// failure is transient: a transport error (connection refused/reset,
+// dropped mid-flight) or a 503 — the admission controller and the
+// shutdown path both use 503 + Retry-After for "try again shortly".
+func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte, hasBody bool, out any) (retryable bool, retryAfter time.Duration, err error) {
+	var body io.Reader
+	if hasBody {
+		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
-		return err
+		return false, 0, err
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		return true, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+			retryable = true
+		}
 		var er ErrorResponse
 		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
-			return fmt.Errorf("epserved: %s %s: %s (HTTP %d)", method, path, er.Error, resp.StatusCode)
+			return retryable, retryAfter, fmt.Errorf("epserved: %s %s: %s (HTTP %d)", method, path, er.Error, resp.StatusCode)
 		}
-		return fmt.Errorf("epserved: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return retryable, retryAfter, fmt.Errorf("epserved: %s %s: HTTP %d", method, path, resp.StatusCode)
 	}
 	if out == nil {
 		// Drain so the keep-alive connection returns to the pool.
 		_, _ = io.Copy(io.Discard, resp.Body)
-		return nil
+		return false, 0, nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return false, 0, json.NewDecoder(resp.Body).Decode(out)
 }
 
 // CreateStructure ingests a named structure from fact syntax.
 func (c *Client) CreateStructure(ctx context.Context, name, facts string, sig []RelSpec) (StructureInfo, error) {
 	var info StructureInfo
 	err := c.do(ctx, http.MethodPost, "/structures",
-		CreateStructureRequest{Name: name, Facts: facts, Signature: sig}, &info)
+		CreateStructureRequest{Name: name, Facts: facts, Signature: sig}, &info, false)
 	return info, err
 }
 
 // AppendFacts appends facts to a registered structure (atomic with
-// respect to concurrent counts) and returns its new metadata.
+// respect to concurrent counts) and returns its new metadata.  Without
+// a batch id the call is NOT retried on transient failure — a lost
+// response leaves the outcome unknown; use AppendFactsBatch for
+// retry-safe appends.
 func (c *Client) AppendFacts(ctx context.Context, name, facts string) (StructureInfo, error) {
 	var info StructureInfo
 	err := c.do(ctx, http.MethodPost, "/structures/"+name+"/facts",
-		AppendFactsRequest{Facts: facts}, &info)
+		AppendFactsRequest{Facts: facts}, &info, false)
+	return info, err
+}
+
+// AppendFactsBatch appends facts under a client-chosen idempotency
+// batch id.  With a non-empty id the request is safely retryable (and
+// the retry policy applies): the server dedups recently seen ids —
+// including across crash recovery — and echoes the id in the response.
+func (c *Client) AppendFactsBatch(ctx context.Context, name, facts, batchID string) (StructureInfo, error) {
+	var info StructureInfo
+	err := c.do(ctx, http.MethodPost, "/structures/"+name+"/facts",
+		AppendFactsRequest{Facts: facts, BatchID: batchID}, &info, batchID != "")
 	return info, err
 }
 
 // Structures lists the registered structures.
 func (c *Client) Structures(ctx context.Context) ([]StructureInfo, error) {
 	var resp StructuresResponse
-	err := c.do(ctx, http.MethodGet, "/structures", nil, &resp)
+	err := c.do(ctx, http.MethodGet, "/structures", nil, &resp, true)
 	return resp.Structures, err
 }
 
 // Structure fetches one structure's metadata.
 func (c *Client) Structure(ctx context.Context, name string) (StructureInfo, error) {
 	var info StructureInfo
-	err := c.do(ctx, http.MethodGet, "/structures/"+name, nil, &info)
+	err := c.do(ctx, http.MethodGet, "/structures/"+name, nil, &info, true)
 	return info, err
 }
 
@@ -105,7 +239,7 @@ func (c *Client) Count(ctx context.Context, query, structureName string) (*big.I
 // CountWith is Count with full request control (engine, timeout).
 func (c *Client) CountWith(ctx context.Context, req CountRequest) (*big.Int, CountResponse, error) {
 	var resp CountResponse
-	if err := c.do(ctx, http.MethodPost, "/count", req, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/count", req, &resp, true); err != nil {
 		return nil, resp, err
 	}
 	v, ok := new(big.Int).SetString(resp.Count, 10)
@@ -124,7 +258,7 @@ func (c *Client) CountBatch(ctx context.Context, query string, structures []stri
 // CountBatchWith is CountBatch with full request control.
 func (c *Client) CountBatchWith(ctx context.Context, req CountBatchRequest) ([]*big.Int, CountBatchResponse, error) {
 	var resp CountBatchResponse
-	if err := c.do(ctx, http.MethodPost, "/countBatch", req, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/countBatch", req, &resp, true); err != nil {
 		return nil, resp, err
 	}
 	out := make([]*big.Int, len(resp.Counts))
@@ -148,7 +282,7 @@ func (c *Client) Subscribe(ctx context.Context, query, structureName string) (Su
 // SubscribeWith is Subscribe with full request control (engine).
 func (c *Client) SubscribeWith(ctx context.Context, req SubscribeRequest) (SubscriptionInfo, error) {
 	var info SubscriptionInfo
-	err := c.do(ctx, http.MethodPost, "/subscriptions", req, &info)
+	err := c.do(ctx, http.MethodPost, "/subscriptions", req, &info, false)
 	return info, err
 }
 
@@ -158,7 +292,7 @@ func (c *Client) SubscribeWith(ctx context.Context, req SubscribeRequest) (Subsc
 // string.
 func (c *Client) SubscriptionCount(ctx context.Context, id string) (*big.Int, SubscriptionInfo, error) {
 	var info SubscriptionInfo
-	if err := c.do(ctx, http.MethodGet, "/subscriptions/"+id, nil, &info); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/subscriptions/"+id, nil, &info, true); err != nil {
 		return nil, info, err
 	}
 	v, ok := new(big.Int).SetString(info.Count, 10)
@@ -171,23 +305,23 @@ func (c *Client) SubscriptionCount(ctx context.Context, id string) (*big.Int, Su
 // Subscriptions lists the registered subscriptions.
 func (c *Client) Subscriptions(ctx context.Context) ([]SubscriptionInfo, error) {
 	var resp SubscriptionsResponse
-	err := c.do(ctx, http.MethodGet, "/subscriptions", nil, &resp)
+	err := c.do(ctx, http.MethodGet, "/subscriptions", nil, &resp, true)
 	return resp.Subscriptions, err
 }
 
 // Unsubscribe removes a subscription.
 func (c *Client) Unsubscribe(ctx context.Context, id string) error {
-	return c.do(ctx, http.MethodDelete, "/subscriptions/"+id, nil, nil)
+	return c.do(ctx, http.MethodDelete, "/subscriptions/"+id, nil, nil, false)
 }
 
 // Stats fetches the server's telemetry snapshot.
 func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
 	var resp StatsResponse
-	err := c.do(ctx, http.MethodGet, "/stats", nil, &resp)
+	err := c.do(ctx, http.MethodGet, "/stats", nil, &resp, true)
 	return resp, err
 }
 
 // Healthz reports whether the server answers its health check.
 func (c *Client) Healthz(ctx context.Context) error {
-	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil, true)
 }

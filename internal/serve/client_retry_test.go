@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyHandler wraps an inner handler, failing the first fail requests
+// to a path with the given status (or a dropped connection when status
+// is 0) before letting traffic through.
+type flakyHandler struct {
+	inner      http.Handler
+	fail       int32
+	status     int
+	retryAfter string
+	requests   atomic.Int32
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := f.requests.Add(1)
+	if n <= atomic.LoadInt32(&f.fail) {
+		if f.status == 0 {
+			// Simulate a transport-level failure: hijack and slam the
+			// connection so the client sees an unexpected EOF.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				panic("test server does not support hijack")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				panic(err)
+			}
+			conn.Close()
+			return
+		}
+		if f.retryAfter != "" {
+			w.Header().Set("Retry-After", f.retryAfter)
+		}
+		w.WriteHeader(f.status)
+		json.NewEncoder(w).Encode(ErrorResponse{Error: "try later"})
+		return
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+// retryHarness builds an in-memory server with one structure behind a
+// flaky front and a fast-sleeping retrying client pointed at it.
+func retryHarness(t *testing.T, fail int32, status int, retryAfter string) (*Client, *flakyHandler, *Registry) {
+	t.Helper()
+	srv := New(Config{})
+	reg := srv.Registry()
+	if _, err := reg.CreateStructure("g", "E(a,b). E(b,c). E(c,a).", nil); err != nil {
+		t.Fatal(err)
+	}
+	fh := &flakyHandler{inner: srv.Handler(), fail: fail, status: status, retryAfter: retryAfter}
+	hs := httptest.NewServer(fh)
+	t.Cleanup(hs.Close)
+	cl := NewClient(hs.URL, nil).WithRetry(RetryPolicy{
+		MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+	})
+	cl.sleep = func(ctx context.Context, d time.Duration) error { return nil }
+	return cl, fh, reg
+}
+
+// TestRetryCountAfter503 retries an idempotent read through transient
+// 503s and succeeds without surfacing the failures.
+func TestRetryCountAfter503(t *testing.T) {
+	cl, fh, _ := retryHarness(t, 2, http.StatusServiceUnavailable, "1")
+	got, _, err := cl.Count(context.Background(), triQuery, "g")
+	if err != nil {
+		t.Fatalf("Count through 503s: %v", err)
+	}
+	// The directed 3-cycle has 3 triangle homomorphisms (one per rotation).
+	if got.Int64() != 3 {
+		t.Fatalf("count = %s, want 3", got)
+	}
+	if n := fh.requests.Load(); n != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 failures + success)", n)
+	}
+}
+
+// TestRetryCountAfterDroppedConnection retries through connections the
+// server slams shut mid-handshake.
+func TestRetryCountAfterDroppedConnection(t *testing.T) {
+	cl, fh, _ := retryHarness(t, 2, 0, "")
+	if _, _, err := cl.Count(context.Background(), triQuery, "g"); err != nil {
+		t.Fatalf("Count through dropped connections: %v", err)
+	}
+	if n := fh.requests.Load(); n != 3 {
+		t.Fatalf("server saw %d requests, want 3", n)
+	}
+}
+
+// TestRetryExhaustionSurfacesLastError gives up after MaxAttempts and
+// returns the final failure.
+func TestRetryExhaustionSurfacesLastError(t *testing.T) {
+	cl, fh, _ := retryHarness(t, 100, http.StatusServiceUnavailable, "")
+	_, _, err := cl.Count(context.Background(), triQuery, "g")
+	if err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("exhausted retry: err=%v, want a 503", err)
+	}
+	if n := fh.requests.Load(); n != 4 {
+		t.Fatalf("server saw %d requests, want MaxAttempts=4", n)
+	}
+}
+
+// TestPlainAppendDoesNotRetry: an append WITHOUT a batch id must fail
+// fast on a transient error — replaying it could double-apply.
+func TestPlainAppendDoesNotRetry(t *testing.T) {
+	cl, fh, _ := retryHarness(t, 1, http.StatusServiceUnavailable, "1")
+	_, err := cl.AppendFacts(context.Background(), "g", "E(c,d).")
+	if err == nil {
+		t.Fatalf("plain append through a 503 unexpectedly succeeded")
+	}
+	if n := fh.requests.Load(); n != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no retry)", n)
+	}
+}
+
+// TestCreateDoesNotRetry: creates are not idempotent (a replay after a
+// lost success would 409) and must not retry.
+func TestCreateDoesNotRetry(t *testing.T) {
+	cl, fh, _ := retryHarness(t, 1, http.StatusServiceUnavailable, "")
+	if _, err := cl.CreateStructure(context.Background(), "h", "E(a,b).", nil); err == nil {
+		t.Fatalf("create through a 503 unexpectedly succeeded")
+	}
+	if n := fh.requests.Load(); n != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no retry)", n)
+	}
+}
+
+// TestBatchAppendRetriesAndDedups: an append WITH a batch id retries,
+// and even if the original request did land before the "failure", the
+// server-side memo makes the replay a no-op with the original response.
+func TestBatchAppendRetriesAndDedups(t *testing.T) {
+	// fail=0 here; instead the handler applies the append, then drops
+	// the response for the first attempt — the worst case: the server
+	// committed but the client never heard.
+	srv := New(Config{})
+	reg := srv.Registry()
+	if _, err := reg.CreateStructure("g", "E(a,b).", nil); err != nil {
+		t.Fatal(err)
+	}
+	var dropped atomic.Bool
+	inner := srv.Handler()
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/facts") && dropped.CompareAndSwap(false, true) {
+			rec := httptest.NewRecorder()
+			inner.ServeHTTP(rec, r) // server applies the batch...
+			hj := w.(http.Hijacker)
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				panic(err)
+			}
+			conn.Close() // ...but the client never sees the response
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer hs.Close()
+	cl := NewClient(hs.URL, nil).WithRetry(RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond})
+	cl.sleep = func(ctx context.Context, d time.Duration) error { return nil }
+
+	info, err := cl.AppendFactsBatch(context.Background(), "g", "E(b,c). E(c,d).", "retry-batch")
+	if err != nil {
+		t.Fatalf("batch append through dropped response: %v", err)
+	}
+	if info.Inserted != 2 || info.BatchID != "retry-batch" {
+		t.Fatalf("retried batch response: %+v, want the original Inserted=2", info)
+	}
+	final, err := reg.StructureInfo("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 base tuple + 2 from the batch, applied exactly once.
+	if final.Tuples != 3 {
+		t.Fatalf("batch double-applied: %d tuples, want 3", final.Tuples)
+	}
+}
+
+// TestRetryHonorsContextCancellation stops retrying when the caller's
+// context dies mid-backoff.
+func TestRetryHonorsContextCancellation(t *testing.T) {
+	cl, fh, _ := retryHarness(t, 100, http.StatusServiceUnavailable, "")
+	ctx, cancel := context.WithCancel(context.Background())
+	cl.sleep = func(ctx context.Context, d time.Duration) error {
+		cancel()
+		return ctx.Err()
+	}
+	if _, _, err := cl.Count(ctx, triQuery, "g"); err == nil {
+		t.Fatalf("cancelled retry loop reported success")
+	}
+	if n := fh.requests.Load(); n != 1 {
+		t.Fatalf("server saw %d requests after cancellation, want 1", n)
+	}
+}
+
+// TestBackoffBoundsAndRetryAfterFloor sanity-checks the delay math:
+// monotone-ish growth, MaxDelay cap, and the Retry-After floor.
+func TestBackoffBoundsAndRetryAfterFloor(t *testing.T) {
+	c := NewClient("http://x", nil).WithRetry(RetryPolicy{
+		MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond,
+	})
+	for attempt := 1; attempt <= 6; attempt++ {
+		for i := 0; i < 50; i++ {
+			d := c.backoff(attempt, 0)
+			if d <= 0 || d > 80*time.Millisecond {
+				t.Fatalf("backoff(%d) = %v out of (0, MaxDelay]", attempt, d)
+			}
+		}
+	}
+	// A Retry-After hint below the cap floors the delay.
+	if d := c.backoff(1, 60*time.Millisecond); d < 60*time.Millisecond {
+		t.Fatalf("backoff ignored Retry-After floor: %v", d)
+	}
+	// A hint above the cap is clamped to it.
+	if d := c.backoff(1, time.Hour); d != 80*time.Millisecond {
+		t.Fatalf("backoff exceeded MaxDelay under huge hint: %v", d)
+	}
+}

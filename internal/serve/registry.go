@@ -6,16 +6,27 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/count"
 	"repro/internal/engine"
 	"repro/internal/parser"
 	"repro/internal/structure"
+	"repro/internal/wal"
 )
 
 // errDuplicate marks a CreateStructure name collision (mapped to 409).
 var errDuplicate = errors.New("already exists")
+
+// errClosed marks writes against a registry that has begun shutting
+// down (mapped to 503 + Retry-After so clients back off and retry
+// against the restarted process).
+var errClosed = errors.New("registry is shutting down")
+
+// batchMemoCap bounds the per-structure idempotency memo (recent batch
+// ids and their responses); older entries fall off FIFO.
+const batchMemoCap = 1024
 
 // structEntry is one registered structure plus its mutation lock.
 //
@@ -30,6 +41,29 @@ var errDuplicate = errors.New("already exists")
 type structEntry struct {
 	mu sync.RWMutex
 	b  *structure.Structure
+	// batches is the idempotency memo: recent append batch ids mapped to
+	// the response they produced, so a retried batch (client retry after
+	// a lost response, or a replayed request after recovery) is answered
+	// from the memo instead of re-applied.  Guarded by mu (appends hold
+	// the write side anyway); batchOrder drives FIFO eviction.
+	batches    map[string]StructureInfo
+	batchOrder []string
+}
+
+// rememberBatch records an append response under its batch id, evicting
+// the oldest memo past batchMemoCap.  Caller holds e.mu.
+func (e *structEntry) rememberBatch(id string, info StructureInfo) {
+	if e.batches == nil {
+		e.batches = make(map[string]StructureInfo)
+	}
+	if _, ok := e.batches[id]; !ok {
+		e.batchOrder = append(e.batchOrder, id)
+		if len(e.batchOrder) > batchMemoCap {
+			delete(e.batches, e.batchOrder[0])
+			e.batchOrder = e.batchOrder[1:]
+		}
+	}
+	e.batches[id] = info
 }
 
 // info snapshots the structure's metadata under the read lock.
@@ -69,6 +103,27 @@ type Registry struct {
 	// workers is the budget handed to every new counter (0 = process
 	// default).
 	workers int
+
+	// store is the optional durability store (nil = in-memory only),
+	// installed once by AttachStore; compactBytes is the WAL size that
+	// triggers a snapshot-then-truncate compaction (≤ 0 = never).
+	// Both are guarded by mu for writes and effectively immutable after
+	// AttachStore.
+	store        *wal.Store
+	compactBytes int64
+	// closed latches when Close begins: further creates and appends are
+	// refused so the append WaitGroup can drain before the store closes.
+	closed bool
+	// appendWG tracks in-flight append/create writers; Close waits on it
+	// so a batch that was admitted is both applied and durably logged
+	// before the store shuts.
+	appendWG sync.WaitGroup
+	// compacting serializes compactions (concurrent triggers coalesce).
+	compacting atomic.Bool
+
+	// Recovery telemetry for /stats.
+	recStructs, recRecords, recSnaps int
+	recTruncated                     bool
 }
 
 // NewRegistry returns an empty registry.  queryCap ≤ 0 selects the
@@ -111,11 +166,35 @@ func (r *Registry) CreateStructure(name, facts string, spec []RelSpec) (Structur
 	e := &structEntry{b: b}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closed {
+		return StructureInfo{}, errClosed
+	}
 	if _, dup := r.structs[name]; dup {
 		return StructureInfo{}, fmt.Errorf("structure %q %w", name, errDuplicate)
 	}
+	// Log the creation before publishing it: once a client sees the 201,
+	// the structure exists across restarts.  The raw facts and spec are
+	// logged (not the parsed form) so replay goes through the same
+	// parser and is bit-identical.
+	if r.store != nil {
+		if err := r.store.LogCreate(name, walSpec(spec), facts); err != nil {
+			return StructureInfo{}, fmt.Errorf("durability: %w", err)
+		}
+	}
 	r.structs[name] = e
 	return StructureInfo{Name: name, Size: b.Size(), Tuples: b.NumTuples(), Version: b.Version()}, nil
+}
+
+// walSpec converts the wire signature spec to the WAL's record shape.
+func walSpec(spec []RelSpec) []wal.RelSpec {
+	if len(spec) == 0 {
+		return nil
+	}
+	out := make([]wal.RelSpec, len(spec))
+	for i, rs := range spec {
+		out[i] = wal.RelSpec{Name: rs.Name, Arity: rs.Arity}
+	}
+	return out
 }
 
 // entry resolves a named structure.
@@ -143,63 +222,88 @@ func (r *Registry) entry(name string) (*structEntry, error) {
 // so ingest cost is proportional to the appended facts, not to the
 // structure).
 func (r *Registry) AppendFacts(name, facts string) (StructureInfo, error) {
+	return r.AppendFactsBatch(name, facts, "")
+}
+
+// AppendFactsBatch is AppendFacts with an optional client-supplied
+// idempotency batch id.  A non-empty id makes the append safely
+// retryable: a repeat of a batch id the structure has recently seen
+// (including across a crash and recovery — the memo is rebuilt from the
+// WAL) returns the original response without re-applying anything.
+//
+// With a store attached, the batch is logged — under the structure's
+// write lock, before the in-memory apply, fsynced per the store's
+// policy — so the log order equals the apply order and an acknowledged
+// batch is as durable as the policy promises.
+func (r *Registry) AppendFactsBatch(name, facts, batchID string) (StructureInfo, error) {
+	info, err := r.appendBatch(name, facts, batchID)
+	if err == nil {
+		// Outside every lock: compaction takes the registry lock plus all
+		// structure read locks.
+		r.maybeCompact()
+	}
+	return info, err
+}
+
+func (r *Registry) appendBatch(name, facts, batchID string) (StructureInfo, error) {
 	e, err := r.entry(name)
 	if err != nil {
 		return StructureInfo{}, err
 	}
 	// Parse outside the lock (against the immutable signature), merge
 	// under it.
-	e.mu.RLock()
-	sig := e.b.Signature()
-	e.mu.RUnlock()
-	delta, err := parser.ParseStructure(facts, sig)
+	delta, err := parser.ParseStructure(facts, e.b.Signature())
 	if err != nil {
 		return StructureInfo{}, err
 	}
+	st, done, err := r.beginWrite()
+	if err != nil {
+		return StructureInfo{}, err
+	}
+	defer done()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	inserted, err := mergeInto(e.b, delta)
+	if batchID != "" {
+		if info, ok := e.batches[batchID]; ok {
+			return info, nil
+		}
+	}
+	if st != nil {
+		if err := st.LogAppend(name, batchID, e.b.Version(), facts); err != nil {
+			return StructureInfo{}, fmt.Errorf("durability: %w", err)
+		}
+	}
+	inserted, err := structure.Merge(e.b, delta)
 	if err != nil {
 		return StructureInfo{}, err
 	}
-	return StructureInfo{
+	info := StructureInfo{
 		Name:     name,
 		Size:     e.b.Size(),
 		Tuples:   e.b.NumTuples(),
 		Version:  e.b.Version(),
 		Inserted: inserted,
-	}, nil
+		BatchID:  batchID,
+	}
+	if batchID != "" {
+		e.rememberBatch(batchID, info)
+	}
+	return info, nil
 }
 
-// mergeInto adds every element and tuple of delta into dst (by element
-// name; dst's signature must cover delta's relations) and returns the
-// number of tuples actually inserted — duplicates, whether inside the
-// batch or against dst, add nothing.
-func mergeInto(dst, delta *structure.Structure) (int, error) {
-	for _, name := range delta.ElemNames() {
-		dst.EnsureElem(name)
+// beginWrite admits one logged write (append or create), returning the
+// attached store (nil when running in-memory) and a completion callback
+// the writer must call.  Close refuses new writers and then waits for
+// admitted ones, so shutdown never cuts a write between its WAL record
+// and its in-memory apply.
+func (r *Registry) beginWrite() (*wal.Store, func(), error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, nil, errClosed
 	}
-	inserted := 0
-	for _, rel := range delta.Signature().Rels() {
-		before := dst.Rel(rel.Name).Len()
-		names := make([]string, rel.Arity)
-		var err error
-		delta.ForEachTuple(rel.Name, func(t []int) bool {
-			for i, v := range t {
-				names[i] = delta.ElemName(v)
-			}
-			if e := dst.AddFact(rel.Name, names...); e != nil {
-				err = e
-				return false
-			}
-			return true
-		})
-		if err != nil {
-			return inserted, err
-		}
-		inserted += dst.Rel(rel.Name).Len() - before
-	}
-	return inserted, nil
+	r.appendWG.Add(1)
+	return r.store, r.appendWG.Done, nil
 }
 
 // StructureInfo snapshots one structure's metadata.
@@ -323,6 +427,153 @@ func (r *Registry) lockAll(names []string) (entries []*structEntry, unlock func(
 			e.mu.RUnlock()
 		}
 	}, nil
+}
+
+// AttachStore installs an opened durability store and the state its
+// boot recovery produced: recovered structures join the registry (a
+// name collision with an already-registered structure is an error) and
+// their batch results seed the idempotency memos.  Structures created
+// before the attach (in-process preloads) are not yet in the store, so
+// the attach ends with a compaction that snapshots everything.
+// compactBytes sets the WAL size that triggers automatic compaction
+// (0 = 64 MiB default, < 0 = never).  AttachStore may be called at most
+// once, before the registry serves writes.
+func (r *Registry) AttachStore(st *wal.Store, rep *wal.RecoverReport, compactBytes int64) error {
+	if compactBytes == 0 {
+		compactBytes = 64 << 20
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return errClosed
+	}
+	if r.store != nil {
+		r.mu.Unlock()
+		return fmt.Errorf("a store is already attached")
+	}
+	preloaded := len(r.structs) > 0
+	for _, rs := range rep.Structures {
+		if _, dup := r.structs[rs.Name]; dup {
+			r.mu.Unlock()
+			return fmt.Errorf("recovered structure %q collides with a registered one", rs.Name)
+		}
+		e := &structEntry{b: rs.B}
+		for _, br := range rs.Batches {
+			e.rememberBatch(br.BatchID, StructureInfo{
+				Name: rs.Name, Size: br.Size, Tuples: br.Tuples,
+				Version: br.Version, Inserted: br.Inserted, BatchID: br.BatchID,
+			})
+		}
+		r.structs[rs.Name] = e
+	}
+	r.store = st
+	r.compactBytes = compactBytes
+	r.recStructs = len(rep.Structures)
+	r.recRecords = rep.Records
+	r.recSnaps = rep.Snapshots
+	r.recTruncated = rep.TruncatedAt >= 0
+	r.mu.Unlock()
+	if preloaded {
+		return r.Compact()
+	}
+	return nil
+}
+
+// Compact quiesces every structure and runs the store's
+// snapshot-then-truncate cycle: all current states become columnar
+// snapshots and the WAL restarts empty.  Holding the registry lock plus
+// every structure's read lock blocks creations and appends (which log
+// to the WAL) for the duration — counts proceed — so no record can slip
+// between the snapshots and the truncation.  No-op without a store;
+// concurrent calls coalesce.
+func (r *Registry) Compact() error {
+	if !r.compacting.CompareAndSwap(false, true) {
+		return nil
+	}
+	defer r.compacting.Store(false)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.store == nil || r.closed {
+		return nil
+	}
+	names := make([]string, 0, len(r.structs))
+	for n := range r.structs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	snaps := make(map[string]*structure.Structure, len(names))
+	locked := make([]*structEntry, 0, len(names))
+	for _, n := range names {
+		e := r.structs[n]
+		e.mu.RLock()
+		locked = append(locked, e)
+		snaps[n] = e.b
+	}
+	err := r.store.Compact(snaps)
+	for _, e := range locked {
+		e.mu.RUnlock()
+	}
+	return err
+}
+
+// maybeCompact triggers a compaction when the WAL has outgrown the
+// configured threshold.  Failures are not fatal to the append that
+// tripped the trigger: the WAL keeps the state recoverable, and the
+// next trigger retries.
+func (r *Registry) maybeCompact() {
+	r.mu.RLock()
+	st, thr := r.store, r.compactBytes
+	r.mu.RUnlock()
+	if st == nil || thr <= 0 || st.WALSize() < thr {
+		return
+	}
+	_ = r.Compact()
+}
+
+// Close begins shutdown: new creates and appends are refused with a
+// retryable error, in-flight logged writes drain (each completes both
+// its WAL record and its in-memory apply), and then the store flushes
+// and closes.  Idempotent; reads keep working against the frozen
+// in-memory state.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	st := r.store
+	r.mu.Unlock()
+	r.appendWG.Wait()
+	if st != nil {
+		return st.Close()
+	}
+	return nil
+}
+
+// DurabilityStats snapshots the durability layer for /stats.
+func (r *Registry) DurabilityStats() DurabilityStats {
+	r.mu.RLock()
+	st := r.store
+	ds := DurabilityStats{
+		RecoveredStructures: r.recStructs,
+		RecoveredRecords:    r.recRecords,
+		RecoveredSnapshots:  r.recSnaps,
+		TruncatedTail:       r.recTruncated,
+	}
+	r.mu.RUnlock()
+	if st == nil {
+		return ds
+	}
+	ds.Enabled = true
+	s := st.Stats()
+	ds.Fsync = s.Fsync
+	ds.WALBytes = s.WALBytes
+	ds.Appends = s.Appends
+	ds.Creates = s.Creates
+	ds.Compactions = s.Compactions
+	ds.Syncs = s.Syncs
+	return ds
 }
 
 // parseEngine resolves the wire engine name ("" = fpt).

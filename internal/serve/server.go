@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/structure"
+	"repro/internal/wal"
 )
 
 // Config tunes an epserved Server.  The zero value serves on an
@@ -36,6 +37,17 @@ type Config struct {
 	Workers int
 	// QueryCacheCap bounds the compiled-query cache (≤ 0 = 256).
 	QueryCacheCap int
+	// DataDir enables crash-safe durability: structure creations and
+	// append batches are write-ahead logged there and recovered on
+	// Start, before the listener accepts.  Empty = in-memory only.
+	DataDir string
+	// Fsync is the WAL sync policy when DataDir is set: "always" (an
+	// acknowledged append survives any crash), "batch" (default;
+	// bounded loss, near-"never" throughput), or "never".
+	Fsync string
+	// CompactBytes is the WAL size that triggers snapshot-then-truncate
+	// compaction (0 = 64 MiB, < 0 = never).
+	CompactBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -65,9 +77,19 @@ type Server struct {
 	rejected  atomic.Uint64
 	deadlines atomic.Uint64
 
+	// state drives /healthz: recovering until Start's boot recovery
+	// finishes (servers without a DataDir are born ready), then ready.
+	state atomic.Int32
+
 	httpSrv  *http.Server
 	listener net.Listener
 }
+
+// Server states (see healthz).
+const (
+	stateReady int32 = iota
+	stateRecovering
+)
 
 // New builds a Server from the config.
 func New(cfg Config) *Server {
@@ -91,6 +113,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /subscriptions/{id}", s.handleUnsubscribe)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if cfg.DataDir != "" {
+		s.state.Store(stateRecovering)
+	}
 	return s
 }
 
@@ -102,10 +127,28 @@ func (s *Server) Registry() *Registry { return s.reg }
 // or an external http.Server).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Start listens on cfg.Addr and serves in a background goroutine until
-// Shutdown.  It returns once the listener is bound, so Addr is valid
-// immediately after.
+// Start runs boot recovery (when DataDir is configured: open the store,
+// replay snapshot + WAL tail, attach it to the registry), then listens
+// on cfg.Addr and serves in a background goroutine until Shutdown.
+// Recovery completes before the listener binds, so no request ever
+// observes a half-recovered registry.  Start returns once the listener
+// is bound, so Addr is valid immediately after.
 func (s *Server) Start() error {
+	if s.cfg.DataDir != "" && s.state.Load() == stateRecovering {
+		policy, err := wal.ParseSyncPolicy(s.cfg.Fsync)
+		if err != nil {
+			return err
+		}
+		st, rep, err := wal.Open(wal.Options{Dir: s.cfg.DataDir, Sync: policy})
+		if err != nil {
+			return fmt.Errorf("boot recovery: %w", err)
+		}
+		if err := s.reg.AttachStore(st, rep, s.cfg.CompactBytes); err != nil {
+			st.Close()
+			return fmt.Errorf("boot recovery: %w", err)
+		}
+		s.state.Store(stateReady)
+	}
 	addr := s.cfg.Addr
 	if addr == "" {
 		addr = ":0"
@@ -130,13 +173,21 @@ func (s *Server) Addr() string {
 
 // Shutdown gracefully stops a Started server: the listener closes
 // immediately (new connections are refused), in-flight requests run to
-// completion, and the call returns when they have drained or ctx
-// expires — whichever comes first.
+// completion or ctx expires, and then the registry closes — which
+// refuses new writes, waits for every in-flight append writer to finish
+// both its WAL record and its in-memory apply (even writers whose HTTP
+// request ctx already gave up on), and finally flushes and closes the
+// durability store.  An acknowledged append therefore cannot be lost to
+// a graceful shutdown regardless of fsync policy.
 func (s *Server) Shutdown(ctx context.Context) error {
-	if s.httpSrv == nil {
-		return nil
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
 	}
-	return s.httpSrv.Shutdown(ctx)
+	if cerr := s.reg.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // ---- request plumbing ----
@@ -222,8 +273,12 @@ func (s *Server) handleCreateStructure(w http.ResponseWriter, r *http.Request) {
 	info, err := s.reg.CreateStructure(req.Name, req.Facts, req.Signature)
 	if err != nil {
 		status := http.StatusBadRequest
-		if isDuplicate(err) {
+		switch {
+		case IsDuplicate(err):
 			status = http.StatusConflict
+		case errors.Is(err, errClosed):
+			w.Header().Set("Retry-After", "1")
+			status = http.StatusServiceUnavailable
 		}
 		writeError(w, status, "%v", err)
 		return
@@ -231,7 +286,10 @@ func (s *Server) handleCreateStructure(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, info)
 }
 
-func isDuplicate(err error) bool {
+// IsDuplicate reports whether err is a structure-name collision from
+// CreateStructure (HTTP 409 on the wire) — preloaders that want
+// create-if-absent semantics test it to skip already-present names.
+func IsDuplicate(err error) bool {
 	return err != nil && errors.Is(err, errDuplicate)
 }
 
@@ -254,11 +312,19 @@ func (s *Server) handleAppendFacts(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.PathValue("name")
-	info, err := s.reg.AppendFacts(name, req.Facts)
+	info, err := s.reg.AppendFactsBatch(name, req.Facts, req.BatchID)
 	if err != nil {
 		status := http.StatusBadRequest
-		if _, lookupErr := s.reg.entry(name); lookupErr != nil {
-			status = http.StatusNotFound
+		switch {
+		case errors.Is(err, errClosed):
+			// Shutdown in progress: the write was refused before any
+			// effect, so the client may retry against the next process.
+			w.Header().Set("Retry-After", "1")
+			status = http.StatusServiceUnavailable
+		default:
+			if _, lookupErr := s.reg.entry(name); lookupErr != nil {
+				status = http.StatusNotFound
+			}
 		}
 		writeError(w, status, "%v", err)
 		return
@@ -332,13 +398,29 @@ func (s *Server) handleCountBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Resolve (and maybe compile) the counter BEFORE taking the
+	// structure locks: counterFor acquires the registry lock, and
+	// compaction holds the registry lock while collecting structure
+	// locks — taking them in the opposite order here could deadlock
+	// three-way with a pending append writer.  The signature is
+	// immutable after creation, so reading it lock-free is safe.
+	first, err := s.reg.entry(req.Structures[0])
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	sig := first.b.Signature()
+	c, err := s.reg.counterFor(req.Query, eng, sig)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	entries, unlock, err := s.reg.lockAll(req.Structures)
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
 	defer unlock()
-	sig := entries[0].b.Signature()
 	versions := make([]uint64, len(entries))
 	bs := make([]*structure.Structure, len(entries))
 	for i, e := range entries {
@@ -349,11 +431,6 @@ func (s *Server) handleCountBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		bs[i] = e.b
 		versions[i] = e.b.Version()
-	}
-	c, err := s.reg.counterFor(req.Query, eng, sig)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
 	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMillis)
 	defer cancel()
@@ -445,9 +522,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Sessions:      engine.SessionStats(),
 		Delta:         engine.DeltaStats(),
 		Subscriptions: s.reg.NumSubscriptions(),
+		Durability:    s.reg.DurabilityStats(),
 	})
 }
 
+// handleHealthz distinguishes a server still replaying its durability
+// store (503 "recovering" — load balancers keep traffic away) from one
+// ready to serve (200 "ready").
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	if s.state.Load() == stateRecovering {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, HealthzResponse{OK: false, State: "recovering"})
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthzResponse{OK: true, State: "ready"})
 }

@@ -1,0 +1,43 @@
+package structure
+
+// Merge adds every element and tuple of delta into dst (matching by
+// element name; dst's signature must cover every relation delta uses)
+// and returns the number of tuples actually inserted — duplicates,
+// whether inside the batch or against dst, add nothing.  Iteration is
+// deterministic (signature order, then insertion order), so replaying
+// the same delta against the same dst always produces the same version
+// trajectory; Merge is also idempotent, the property WAL replay leans
+// on when a batch may already be covered by a snapshot.  Both the
+// serving layer's append path and boot recovery apply batches through
+// this single function, which is what makes a recovered structure
+// bit-compatible with the in-memory original.
+func Merge(dst, delta *Structure) (int, error) {
+	for _, name := range delta.ElemNames() {
+		dst.EnsureElem(name)
+	}
+	inserted := 0
+	for _, rel := range delta.Signature().Rels() {
+		dstRel := dst.Rel(rel.Name)
+		if dstRel == nil && delta.Rel(rel.Name).Len() == 0 {
+			continue
+		}
+		before := dstRel.Len()
+		names := make([]string, rel.Arity)
+		var err error
+		delta.ForEachTuple(rel.Name, func(t []int) bool {
+			for i, v := range t {
+				names[i] = delta.ElemName(v)
+			}
+			if e := dst.AddFact(rel.Name, names...); e != nil {
+				err = e
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return inserted, err
+		}
+		inserted += dstRel.Len() - before
+	}
+	return inserted, nil
+}

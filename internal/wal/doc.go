@@ -1,0 +1,48 @@
+// Package wal gives the serving layer crash-safe durability: a
+// write-ahead log of structure lifecycle events plus columnar snapshots
+// of the structure store, with boot recovery that replays snapshot +
+// WAL tail and verifies the result.
+//
+// The durable unit is exactly what the paper's reduction makes cheap to
+// persist: every ep-count is a fixed linear combination of pp-term
+// counts over a relational structure (Chen–Mengel, PODS 2016), so the
+// service's entire state is the append-batch stream applied to
+// structure.Structure — and the structure's columnar Relation stores
+// (flat []int32 columns, posting lists derivable from them) are already
+// nearly an on-disk format.  Two durable artifacts follow:
+//
+//   - wal.log — a sequential log of length-prefixed, CRC32C-checksummed,
+//     versioned records: structure creations (name, signature, initial
+//     facts) and fact-append batches (name, idempotency batch id,
+//     pre-apply version, facts).  Records are written under the owning
+//     structure's write lock *before* the in-memory apply, so an
+//     acknowledged batch is always recoverable (under SyncAlways) and a
+//     logged-but-unapplied batch is replayed on boot.
+//   - snap/<name>.snap — columnar snapshots of each structure: element
+//     names, relation columns, and the mutation version.  Posting lists
+//     and dedup sets are deliberately absent — they are rebuilt on load
+//     through the store's normal insertion path, which also re-derives
+//     (and thereby verifies) the mutation version.
+//
+// Compaction is snapshot-then-truncate: with every structure quiesced
+// by its caller, Compact writes fresh snapshots (tmp + fsync + rename)
+// and then atomically replaces the WAL with an empty one, bounding
+// recovery time by the data since the last compaction.
+//
+// Recovery (Open) loads the snapshots, then replays the WAL tail.
+// Replay is idempotent — append batches dedup against what the
+// snapshot already contains — and defensive: a torn final record, a
+// flipped bit, a short read, or any other checksum/framing violation
+// truncates the log at the last valid record and reports it, never
+// poisoning the recovered state.  Every recovered structure passes
+// structure.Audit, which re-verifies the version/column/posting-list
+// invariants end to end.
+//
+// Robustness is proven, not assumed: FaultFS is an injectable FS
+// implementation that models torn writes (byte-budget crashes mid
+// record), lost unsynced suffixes (power loss under SyncNever/
+// SyncBatch), per-operation errors, and read-side corruption; the
+// package's recovery matrix drives it over every crash point and
+// asserts each prefix of the log recovers to a valid earlier version
+// whose counts equal a sequential replay.
+package wal

@@ -1,0 +1,356 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path"
+	"sync"
+)
+
+// ErrInjected is the error every FaultFS operation returns once a fault
+// has fired (budget exhausted, Crash called, or an op hook tripped):
+// the moral equivalent of the process dying mid-syscall.
+var ErrInjected = errors.New("wal: injected fault")
+
+// FaultFS wraps an FS with injectable failure modes for the recovery
+// test matrix:
+//
+//   - a write byte budget (CrashAfterBytes): the write that crosses it
+//     lands only partially — a torn final record — and every later
+//     operation fails, modelling a process killed mid-write;
+//   - power loss (Crash): unsynced bytes written since the last Sync
+//     are dropped from the underlying files, modelling lost page cache
+//     under SyncNever/SyncBatch;
+//   - per-operation errors (SetOpError): crash-point errors on create,
+//     rename, sync, … — e.g. dying between a snapshot rename and the
+//     WAL truncation during compaction;
+//   - read-side corruption (SetReadTransform): flipped bits and short
+//     reads served to recovery.
+//
+// Renames are treated as durable once performed (the store only renames
+// files it has already synced), a documented simplification of real
+// directory-entry crash semantics.  FaultFS is safe for concurrent use.
+type FaultFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	files   map[string]*faultFileState
+	crashed bool
+	budget  int64 // remaining writable bytes; < 0 = unlimited
+
+	opErr     func(op, name string) error
+	writeHook func(name string, p []byte) error
+	readHook  func(name string, data []byte) ([]byte, error)
+}
+
+// faultFileState tracks one file's written vs synced extent.
+type faultFileState struct {
+	size   int64
+	synced int64
+}
+
+// NewFaultFS wraps inner (typically OSFS over a temp dir) with no
+// faults armed: behaviour is transparent until a knob is set.
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: inner, files: make(map[string]*faultFileState), budget: -1}
+}
+
+// CrashAfterBytes arms the write budget: after n more payload bytes the
+// writing operation tears (a prefix lands) and the FS behaves crashed.
+func (f *FaultFS) CrashAfterBytes(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.budget = n
+}
+
+// Crash simulates power loss: every tracked file is truncated back to
+// its last synced size (dropping unsynced page-cache bytes) and all
+// subsequent operations fail with ErrInjected.
+func (f *FaultFS) Crash() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = true
+	var firstErr error
+	for name, st := range f.files {
+		if st.synced < st.size {
+			if err := f.inner.Truncate(name, st.synced); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			st.size = st.synced
+		}
+	}
+	return firstErr
+}
+
+// Crashed reports whether a fault has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// SetOpError installs a hook consulted before every operation with the
+// operation name ("create", "append", "write", "sync", "rename",
+// "remove", "truncate", "readfile", "readdir", "mkdir", "syncdir") and
+// the path; a non-nil return aborts the operation with that error and
+// marks the FS crashed.
+func (f *FaultFS) SetOpError(hook func(op, name string) error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.opErr = hook
+}
+
+// SetWriteHook installs a hook invoked (outside the FS lock) before
+// each write's bytes reach the inner FS — a place for tests to block a
+// writer mid-append.
+func (f *FaultFS) SetWriteHook(hook func(name string, p []byte) error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeHook = hook
+}
+
+// SetReadTransform installs a hook that may corrupt or shorten the
+// bytes ReadFile returns — flipped bits and short reads for the
+// recovery matrix.
+func (f *FaultFS) SetReadTransform(hook func(name string, data []byte) ([]byte, error)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.readHook = hook
+}
+
+// check consults crash state and the op hook.
+func (f *FaultFS) check(op, name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrInjected
+	}
+	if f.opErr != nil {
+		if err := f.opErr(op, name); err != nil {
+			f.crashed = true
+			return err
+		}
+	}
+	return nil
+}
+
+// track returns (creating if needed) the state of name.
+func (f *FaultFS) track(name string, size int64) *faultFileState {
+	st := f.files[name]
+	if st == nil {
+		st = &faultFileState{size: size, synced: size}
+		f.files[name] = st
+	}
+	return st
+}
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(dir string) error {
+	if err := f.check("mkdir", dir); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+// Create implements FS.
+func (f *FaultFS) Create(name string) (File, error) {
+	if err := f.check("create", name); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.files[name] = &faultFileState{}
+	f.mu.Unlock()
+	return &faultFile{fs: f, name: name, inner: inner}, nil
+}
+
+// OpenAppend implements FS.
+func (f *FaultFS) OpenAppend(name string) (File, error) {
+	if err := f.check("append", name); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	var size int64
+	if data, rerr := f.inner.ReadFile(name); rerr == nil {
+		size = int64(len(data))
+	}
+	f.mu.Lock()
+	f.track(name, size)
+	f.mu.Unlock()
+	return &faultFile{fs: f, name: name, inner: inner}, nil
+}
+
+// ReadFile implements FS, applying the read transform if armed.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if err := f.check("readfile", name); err != nil {
+		return nil, err
+	}
+	data, err := f.inner.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	hook := f.readHook
+	f.mu.Unlock()
+	if hook != nil {
+		return hook(name, data)
+	}
+	return data, nil
+}
+
+// ReadDir implements FS.
+func (f *FaultFS) ReadDir(dir string) ([]string, error) {
+	if err := f.check("readdir", dir); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(dir)
+}
+
+// Rename implements FS, transferring the tracked extent to the new
+// name (renames of synced files are treated as durable).
+func (f *FaultFS) Rename(oldname, newname string) error {
+	if err := f.check("rename", oldname); err != nil {
+		return err
+	}
+	if err := f.inner.Rename(oldname, newname); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if st := f.files[oldname]; st != nil {
+		delete(f.files, oldname)
+		f.files[newname] = st
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error {
+	if err := f.check("remove", name); err != nil {
+		return err
+	}
+	if err := f.inner.Remove(name); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	delete(f.files, name)
+	f.mu.Unlock()
+	return nil
+}
+
+// Truncate implements FS.
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if err := f.check("truncate", name); err != nil {
+		return err
+	}
+	if err := f.inner.Truncate(name, size); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if st := f.files[name]; st != nil {
+		st.size = size
+		if st.synced > size {
+			st.synced = size
+		}
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+// SyncDir implements FS.
+func (f *FaultFS) SyncDir(dir string) error {
+	if err := f.check("syncdir", dir); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile interposes the budget and hooks on one open file.
+type faultFile struct {
+	fs    *FaultFS
+	name  string
+	inner File
+}
+
+// Write implements File: it consumes the byte budget, tearing the write
+// that crosses it.
+func (w *faultFile) Write(p []byte) (int, error) {
+	w.fs.mu.Lock()
+	hook := w.fs.writeHook
+	w.fs.mu.Unlock()
+	if hook != nil {
+		if err := hook(w.name, p); err != nil {
+			w.fs.mu.Lock()
+			w.fs.crashed = true
+			w.fs.mu.Unlock()
+			return 0, err
+		}
+	}
+	if err := w.fs.check("write", w.name); err != nil {
+		return 0, err
+	}
+	w.fs.mu.Lock()
+	allow := len(p)
+	torn := false
+	if w.fs.budget >= 0 {
+		if int64(allow) > w.fs.budget {
+			allow = int(w.fs.budget)
+			torn = true
+			w.fs.crashed = true
+		}
+		w.fs.budget -= int64(allow)
+	}
+	w.fs.mu.Unlock()
+	n := 0
+	var err error
+	if allow > 0 {
+		n, err = w.inner.Write(p[:allow])
+	}
+	w.fs.mu.Lock()
+	if st := w.fs.files[w.name]; st != nil {
+		st.size += int64(n)
+	}
+	w.fs.mu.Unlock()
+	if err != nil {
+		return n, err
+	}
+	if torn {
+		return n, ErrInjected
+	}
+	return n, nil
+}
+
+// Sync implements File, marking the written extent durable.
+func (w *faultFile) Sync() error {
+	if err := w.fs.check("sync", w.name); err != nil {
+		return err
+	}
+	if err := w.inner.Sync(); err != nil {
+		return err
+	}
+	w.fs.mu.Lock()
+	if st := w.fs.files[w.name]; st != nil {
+		st.synced = st.size
+	}
+	w.fs.mu.Unlock()
+	return nil
+}
+
+// Close implements File.  Close is allowed even after a crash so the
+// store's cleanup paths don't wedge.
+func (w *faultFile) Close() error { return w.inner.Close() }
+
+// notExist reports whether err means "file does not exist" (shared by
+// store recovery across FS implementations).
+func notExist(err error) bool { return errors.Is(err, os.ErrNotExist) }
+
+// join builds FS paths with forward slashes (OS paths accept them on
+// the platforms the tests run on; FaultFS keys its tracking map by the
+// joined string, so the store must join consistently).
+func join(elem ...string) string { return path.Join(elem...) }

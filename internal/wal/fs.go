@@ -1,0 +1,99 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the writable-file surface the store needs: sequential writes,
+// durability barriers, and close.  *os.File satisfies it.
+type File interface {
+	io.Writer
+	// Sync flushes the file's written bytes to stable storage.
+	Sync() error
+	io.Closer
+}
+
+// FS abstracts the filesystem operations the store performs, so tests
+// can interpose fault injection (FaultFS) between the store and the
+// disk.  Paths are slash-joined relative paths rooted wherever the
+// implementation chooses; OSFS treats them as ordinary OS paths.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// Create truncates-or-creates name and opens it for writing.
+	Create(name string) (File, error)
+	// OpenAppend opens name for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// ReadFile returns name's full contents ([]byte(nil), error) on
+	// failure; a missing file is an error satisfying os.IsNotExist
+	// semantics via errors.Is(err, os.ErrNotExist).
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists dir's entry names (files only, any order).
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Truncate cuts name to size bytes.
+	Truncate(name string, size int64) error
+	// SyncDir flushes dir's metadata (entry renames/creates) to stable
+	// storage; implementations may no-op where unsupported.
+	SyncDir(dir string) error
+}
+
+// OSFS is the production FS: plain os calls.  The zero value is ready
+// to use.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) { return os.Create(name) }
+
+// OpenAppend implements FS.
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// Truncate implements FS.
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// SyncDir implements FS: it opens the directory and fsyncs it so entry
+// creations and renames inside it are durable.  Errors opening or
+// syncing the directory are returned; callers on filesystems without
+// directory sync semantics may ignore them.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

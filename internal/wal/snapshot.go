@@ -1,0 +1,182 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/structure"
+)
+
+// snapMagic opens every snapshot file; the trailing digit is the
+// snapshot format version.
+const snapMagic = "EPCQSNP0"
+
+// EncodeSnapshot serializes b as a columnar snapshot: the structure's
+// name, signature, universe (element names in index order), and each
+// relation's flat columns, wrapped in the same length+CRC32C framing
+// the WAL uses.  Posting lists and dedup sets are not stored — they are
+// derived data, rebuilt on decode through the store's normal insertion
+// path.  The caller must hold the structure quiescent (no concurrent
+// mutation) for the duration.
+func EncodeSnapshot(name string, b *structure.Structure) []byte {
+	var body enc
+	body.u64(1) // snapshot payload format
+	body.str(name)
+	body.u64(b.Version())
+	elems := b.ElemNames()
+	body.u64(uint64(len(elems)))
+	for _, e := range elems {
+		body.str(e)
+	}
+	rels := b.Signature().Rels()
+	body.u64(uint64(len(rels)))
+	for _, rs := range rels {
+		rel := b.Rel(rs.Name)
+		body.str(rs.Name)
+		body.u64(uint64(rs.Arity))
+		body.u64(uint64(rel.Len()))
+		// Column-major: the flat []int32 columns are written as-is,
+		// position by position — the store's in-memory layout is the
+		// on-disk layout.
+		for p := 0; p < rs.Arity; p++ {
+			for _, v := range rel.Col(p) {
+				body.u64(uint64(uint32(v)))
+			}
+		}
+	}
+	var out enc
+	out.raw([]byte(snapMagic))
+	out.u32le(uint32(len(body.b)))
+	out.u32le(crc32.Checksum(body.b, castagnoli))
+	out.raw(body.b)
+	return out.b
+}
+
+// DecodeSnapshot parses a snapshot file and rebuilds the structure:
+// elements and tuples are re-inserted through AddElem/AddTuple, which
+// regenerates the posting lists and dedup sets and re-derives the
+// mutation version.  The rebuilt version must equal the stored one and
+// the result must pass structure.Audit — a snapshot that decodes
+// cleanly is a structure the engine can trust.
+func DecodeSnapshot(data []byte) (name string, b *structure.Structure, err error) {
+	if len(data) < len(snapMagic)+8 {
+		return "", nil, fmt.Errorf("wal: snapshot too short (%d bytes)", len(data))
+	}
+	if string(data[:len(snapMagic)]) != snapMagic {
+		return "", nil, fmt.Errorf("wal: bad snapshot magic")
+	}
+	rest := data[len(snapMagic):]
+	n := binary.LittleEndian.Uint32(rest[0:4])
+	sum := binary.LittleEndian.Uint32(rest[4:8])
+	if uint64(n) != uint64(len(rest)-8) {
+		return "", nil, fmt.Errorf("wal: snapshot length mismatch (header %d, payload %d)", n, len(rest)-8)
+	}
+	payload := rest[8:]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return "", nil, fmt.Errorf("wal: snapshot checksum mismatch")
+	}
+	d := dec{b: payload}
+	if f := d.u64(); d.err == nil && f != 1 {
+		return "", nil, fmt.Errorf("wal: unknown snapshot format %d", f)
+	}
+	name = d.str()
+	version := d.u64()
+	nElems := d.u64()
+	if d.err != nil {
+		return "", nil, d.err
+	}
+	if nElems > uint64(len(payload)) {
+		return "", nil, fmt.Errorf("wal: implausible element count %d", nElems)
+	}
+	elems := make([]string, 0, nElems)
+	for i := uint64(0); i < nElems; i++ {
+		elems = append(elems, d.str())
+	}
+	nRels := d.u64()
+	if d.err != nil {
+		return "", nil, d.err
+	}
+	if nRels > uint64(len(payload)) {
+		return "", nil, fmt.Errorf("wal: implausible relation count %d", nRels)
+	}
+	type relData struct {
+		name  string
+		arity int
+		rows  int
+		cols  [][]uint64
+	}
+	specs := make([]structure.RelSym, 0, nRels)
+	rels := make([]relData, 0, nRels)
+	for i := uint64(0); i < nRels; i++ {
+		rname := d.str()
+		arity := d.u64()
+		rows := d.u64()
+		if d.err != nil {
+			return "", nil, d.err
+		}
+		if arity == 0 || arity > uint64(len(payload)) || rows > uint64(len(payload)) {
+			return "", nil, fmt.Errorf("wal: implausible relation shape %d/%d", arity, rows)
+		}
+		rd := relData{name: rname, arity: int(arity), rows: int(rows)}
+		rd.cols = make([][]uint64, arity)
+		for p := range rd.cols {
+			col := make([]uint64, rows)
+			for r := range col {
+				col[r] = d.u64()
+			}
+			rd.cols[p] = col
+		}
+		if d.err != nil {
+			return "", nil, d.err
+		}
+		specs = append(specs, structure.RelSym{Name: rname, Arity: int(arity)})
+		rels = append(rels, rd)
+	}
+	if d.err != nil {
+		return "", nil, d.err
+	}
+	if len(d.b) != 0 {
+		return "", nil, fmt.Errorf("wal: %d trailing snapshot bytes", len(d.b))
+	}
+	sig, err := structure.NewSignature(specs...)
+	if err != nil {
+		return "", nil, fmt.Errorf("wal: snapshot signature: %w", err)
+	}
+	b = structure.New(sig)
+	for _, e := range elems {
+		if _, err := b.AddElem(e); err != nil {
+			return "", nil, fmt.Errorf("wal: snapshot universe: %w", err)
+		}
+	}
+	t := make([]int, 0, 8)
+	for _, rd := range rels {
+		t = t[:0]
+		for range rd.cols {
+			t = append(t, 0)
+		}
+		for r := 0; r < rd.rows; r++ {
+			for p := range rd.cols {
+				v := rd.cols[p][r]
+				if v >= uint64(len(elems)) {
+					return "", nil, fmt.Errorf("wal: snapshot %s row %d: element %d out of range", rd.name, r, v)
+				}
+				t[p] = int(v)
+			}
+			before := b.Version()
+			if err := b.AddTuple(rd.name, t...); err != nil {
+				return "", nil, fmt.Errorf("wal: snapshot %s row %d: %w", rd.name, r, err)
+			}
+			if b.Version() == before {
+				return "", nil, fmt.Errorf("wal: snapshot %s row %d: duplicate tuple", rd.name, r)
+			}
+		}
+	}
+	if b.Version() != version {
+		return "", nil, fmt.Errorf("wal: snapshot version mismatch: rebuilt %d, stored %d", b.Version(), version)
+	}
+	if err := b.Audit(); err != nil {
+		return "", nil, fmt.Errorf("wal: snapshot audit: %w", err)
+	}
+	return name, b, nil
+}

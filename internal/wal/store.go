@@ -1,0 +1,590 @@
+package wal
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/parser"
+	"repro/internal/structure"
+)
+
+// SyncPolicy selects when the store fsyncs the WAL after an append.
+type SyncPolicy int
+
+const (
+	// SyncBatch (the default) fsyncs every BatchAppends appends and on
+	// Flush/Close/compaction — bounded loss under power failure, near
+	// SyncNever throughput.
+	SyncBatch SyncPolicy = iota
+	// SyncAlways fsyncs before every append acknowledges: an
+	// acknowledged batch survives any crash.
+	SyncAlways
+	// SyncNever leaves flushing to the OS (and Flush/Close): fastest,
+	// loses unsynced batches on power failure, still torn-proof.
+	SyncNever
+)
+
+// String returns the policy's flag spelling.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncNever:
+		return "never"
+	default:
+		return "batch"
+	}
+}
+
+// ParseSyncPolicy parses the -fsync flag values "always", "batch",
+// "never" (aliases: "off" = never, "" = batch).
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "always":
+		return SyncAlways, nil
+	case "", "batch":
+		return SyncBatch, nil
+	case "never", "off":
+		return SyncNever, nil
+	}
+	return SyncBatch, fmt.Errorf("wal: unknown fsync policy %q (want always, batch, or never)", s)
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the data directory (created if missing): wal.log plus a
+	// snap/ subdirectory of columnar snapshots.
+	Dir string
+	// FS is the filesystem implementation (nil = OSFS).
+	FS FS
+	// Sync is the append fsync policy.
+	Sync SyncPolicy
+	// BatchAppends is the SyncBatch fsync interval in appends (≤ 0 = 32).
+	BatchAppends int
+}
+
+// BatchResult is one recovered append batch's outcome, used by the
+// serving layer to rebuild its idempotency memo: a retried batch id is
+// answered from this instead of being re-applied.
+type BatchResult struct {
+	BatchID  string
+	Inserted int
+	Version  uint64
+	Size     int
+	Tuples   int
+}
+
+// RecoveredStructure is one structure rebuilt by Open: its registry
+// name, the audited structure, and the batch-id-carrying appends seen
+// for it, in log order.
+type RecoveredStructure struct {
+	Name    string
+	B       *structure.Structure
+	Batches []BatchResult
+}
+
+// RecoverReport summarizes a boot recovery.
+type RecoverReport struct {
+	// Structures are the recovered structures (snapshot + WAL tail),
+	// sorted by name.
+	Structures []RecoveredStructure
+	// Snapshots and Records count what recovery consumed.
+	Snapshots int
+	Records   int
+	// TruncatedAt is the WAL byte offset where a torn or corrupt tail
+	// was cut (-1 when the log ended cleanly); Corruption describes the
+	// violation.  Truncation is recovery working as designed — the
+	// state at the cut is a valid earlier version — but operators want
+	// to know it happened.
+	TruncatedAt int64
+	Corruption  string
+}
+
+// StoreStats is the store's telemetry snapshot.
+type StoreStats struct {
+	// WALBytes is the active log's current size, header included.
+	WALBytes int64 `json:"wal_bytes"`
+	// Appends / Creates count records logged since Open.
+	Appends uint64 `json:"appends"`
+	Creates uint64 `json:"creates"`
+	// Compactions counts snapshot-then-truncate cycles since Open.
+	Compactions uint64 `json:"compactions"`
+	// Syncs counts explicit fsyncs issued on the WAL.
+	Syncs uint64 `json:"syncs"`
+	// Fsync is the active policy ("always", "batch", "never").
+	Fsync string `json:"fsync"`
+}
+
+// Store is an open durability store: one WAL accepting appended
+// records, plus the snapshot directory compaction writes into.  All
+// methods are safe for concurrent use; the caller provides the
+// higher-level ordering (log a batch under the same lock that applies
+// it in memory).
+type Store struct {
+	dir          string
+	fs           FS
+	policy       SyncPolicy
+	batchAppends int
+
+	mu      sync.Mutex
+	w       File
+	size    int64
+	pending int
+	closed  bool
+	// broken latches after a write or sync error: the on-disk suffix is
+	// in an unknown state, so further appends are refused (recovery on
+	// next boot truncates the torn tail).
+	broken bool
+
+	appends     atomic.Uint64
+	creates     atomic.Uint64
+	compactions atomic.Uint64
+	syncs       atomic.Uint64
+}
+
+const walFile = "wal.log"
+
+// Open opens (creating if needed) the store in opts.Dir, runs boot
+// recovery — load snapshots, replay the WAL tail, verify versions,
+// truncate any torn or corrupt suffix — and returns the store ready
+// for appending plus the recovery report.  Recovery never lets a
+// damaged tail poison the result: scanning stops at the first framing,
+// checksum, or replay-chain violation and the state at that point is
+// returned.
+func Open(opts Options) (*Store, *RecoverReport, error) {
+	fs := opts.FS
+	if fs == nil {
+		fs = OSFS{}
+	}
+	if opts.Dir == "" {
+		return nil, nil, fmt.Errorf("wal: Options.Dir must be set")
+	}
+	batch := opts.BatchAppends
+	if batch <= 0 {
+		batch = 32
+	}
+	s := &Store{dir: opts.Dir, fs: fs, policy: opts.Sync, batchAppends: batch}
+	if err := fs.MkdirAll(opts.Dir); err != nil {
+		return nil, nil, err
+	}
+	if err := fs.MkdirAll(s.snapDir()); err != nil {
+		return nil, nil, err
+	}
+	rep, err := s.recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, rep, nil
+}
+
+func (s *Store) snapDir() string { return join(s.dir, "snap") }
+func (s *Store) walPath() string { return join(s.dir, walFile) }
+func (s *Store) snapPath(name string) string {
+	return join(s.snapDir(), url.PathEscape(name)+".snap")
+}
+
+// recover performs the boot sequence described on Open.
+func (s *Store) recover() (*RecoverReport, error) {
+	rep := &RecoverReport{TruncatedAt: -1}
+	structs := make(map[string]*structure.Structure)
+	batches := make(map[string][]BatchResult)
+
+	// 1. Columnar snapshots.  A *.tmp file is a compaction that died
+	// before its rename — ignored.  A renamed snapshot was fsynced
+	// before the rename, so a decode failure here is disk corruption,
+	// not a crash artifact: fail loudly rather than silently dropping
+	// state the WAL no longer holds.
+	names, err := s.fs.ReadDir(s.snapDir())
+	if err != nil && !notExist(err) {
+		return nil, err
+	}
+	sort.Strings(names)
+	for _, fn := range names {
+		if !strings.HasSuffix(fn, ".snap") {
+			continue
+		}
+		data, err := s.fs.ReadFile(join(s.snapDir(), fn))
+		if err != nil {
+			return nil, fmt.Errorf("wal: snapshot %s: %w", fn, err)
+		}
+		name, b, err := DecodeSnapshot(data)
+		if err != nil {
+			return nil, fmt.Errorf("wal: snapshot %s: %w", fn, err)
+		}
+		if _, dup := structs[name]; dup {
+			return nil, fmt.Errorf("wal: duplicate snapshot for structure %q", name)
+		}
+		structs[name] = b
+		rep.Snapshots++
+	}
+
+	// 2. WAL tail.
+	data, err := s.fs.ReadFile(s.walPath())
+	switch {
+	case notExist(err):
+		data = nil
+	case err != nil:
+		return nil, err
+	}
+	rewrite := false // header missing/corrupt: recreate the file
+	valid := 0       // valid record bytes after the magic
+	if len(data) > 0 {
+		if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
+			rep.TruncatedAt = 0
+			rep.Corruption = "bad or torn WAL header"
+			rewrite = true
+			data = nil
+		} else {
+			data = data[len(walMagic):]
+		}
+	}
+	for valid < len(data) {
+		rec, n, derr := decodeRecord(data[valid:])
+		if derr != nil {
+			rep.TruncatedAt = int64(len(walMagic) + valid)
+			rep.Corruption = derr.Error()
+			break
+		}
+		if aerr := applyRecord(structs, batches, rec); aerr != nil {
+			rep.TruncatedAt = int64(len(walMagic) + valid)
+			rep.Corruption = aerr.Error()
+			break
+		}
+		valid += n
+		rep.Records++
+	}
+
+	// 3. Make the file agree with what replay accepted: cut the torn
+	// or corrupt suffix (or recreate a file whose header was damaged),
+	// so the next append continues from a clean boundary.
+	switch {
+	case rewrite:
+		if err := s.writeFreshWAL(s.walPath()); err != nil {
+			return nil, err
+		}
+		s.size = int64(len(walMagic))
+	case len(data) == 0 && rep.Records == 0 && rep.TruncatedAt < 0:
+		// Missing or empty file: initialize the header.
+		if err := s.writeFreshWAL(s.walPath()); err != nil {
+			return nil, err
+		}
+		s.size = int64(len(walMagic))
+	case valid < len(data):
+		if err := s.fs.Truncate(s.walPath(), int64(len(walMagic)+valid)); err != nil {
+			return nil, err
+		}
+		s.size = int64(len(walMagic) + valid)
+	default:
+		s.size = int64(len(walMagic) + valid)
+	}
+
+	// 4. Audit and publish.  Snapshot decoding audits on its own;
+	// replayed tails re-audit here so a recovered structure is always
+	// a verified one.
+	for name, b := range structs {
+		if err := b.Audit(); err != nil {
+			return nil, fmt.Errorf("wal: recovered structure %q: %w", name, err)
+		}
+		rep.Structures = append(rep.Structures, RecoveredStructure{Name: name, B: b, Batches: batches[name]})
+	}
+	sort.Slice(rep.Structures, func(i, j int) bool { return rep.Structures[i].Name < rep.Structures[j].Name })
+
+	w, err := s.fs.OpenAppend(s.walPath())
+	if err != nil {
+		return nil, err
+	}
+	s.w = w
+	return rep, nil
+}
+
+// writeFreshWAL creates path as an empty WAL (magic only), synced.
+func (s *Store) writeFreshWAL(path string) error {
+	f, err := s.fs.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(walMagic)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return s.fs.SyncDir(s.dir)
+}
+
+// applyRecord replays one record onto the recovery state.  Replay is
+// idempotent (Merge dedups), so records already covered by a snapshot
+// re-apply as no-ops; the pre-version chain is verified so a gap —
+// a record whose pre-apply version lies in the future of the state —
+// stops replay as corruption.
+func applyRecord(structs map[string]*structure.Structure, batches map[string][]BatchResult, rec Record) error {
+	switch rec.Type {
+	case recCreate:
+		if _, ok := structs[rec.Name]; ok {
+			// The creation predates an existing snapshot of the same
+			// structure (compaction died before truncating): covered.
+			return nil
+		}
+		var sig *structure.Signature
+		if len(rec.Sig) > 0 {
+			rels := make([]structure.RelSym, len(rec.Sig))
+			for i, rs := range rec.Sig {
+				rels[i] = structure.RelSym{Name: rs.Name, Arity: rs.Arity}
+			}
+			var err error
+			sig, err = structure.NewSignature(rels...)
+			if err != nil {
+				return fmt.Errorf("wal: create %q: %w", rec.Name, err)
+			}
+		}
+		b, err := parser.ParseStructure(rec.Facts, sig)
+		if err != nil {
+			return fmt.Errorf("wal: create %q: %w", rec.Name, err)
+		}
+		structs[rec.Name] = b
+		return nil
+	case recAppend:
+		b := structs[rec.Name]
+		if b == nil {
+			return fmt.Errorf("wal: append to unknown structure %q", rec.Name)
+		}
+		cur := b.Version()
+		if rec.PreVersion > cur {
+			return fmt.Errorf("wal: append to %q expects version %d but state is at %d (gap)", rec.Name, rec.PreVersion, cur)
+		}
+		delta, err := parser.ParseStructure(rec.Facts, b.Signature())
+		if err != nil {
+			return fmt.Errorf("wal: append to %q: %w", rec.Name, err)
+		}
+		inserted, err := structure.Merge(b, delta)
+		if err != nil {
+			return fmt.Errorf("wal: append to %q: %w", rec.Name, err)
+		}
+		if rec.PreVersion < cur && b.Version() != cur {
+			// A batch logged before the snapshot's version must already
+			// be contained in it; inserting anything means the log and
+			// snapshot disagree.
+			return fmt.Errorf("wal: append to %q at pre-version %d mutated snapshot state at %d", rec.Name, rec.PreVersion, cur)
+		}
+		if rec.BatchID != "" {
+			batches[rec.Name] = append(batches[rec.Name], BatchResult{
+				BatchID:  rec.BatchID,
+				Inserted: inserted,
+				Version:  b.Version(),
+				Size:     b.Size(),
+				Tuples:   b.NumTuples(),
+			})
+		}
+		return nil
+	default:
+		return fmt.Errorf("wal: unknown record type %d", rec.Type)
+	}
+}
+
+// LogCreate durably logs a structure creation (name, signature spec,
+// initial facts).  Creations always fsync regardless of the append
+// policy: they are rare, and a structure's existence should survive
+// any crash once its creation was acknowledged.
+func (s *Store) LogCreate(name string, sig []RelSpec, facts string) error {
+	if err := s.writeRecord(Record{Type: recCreate, Name: name, Sig: sig, Facts: facts}, true); err != nil {
+		return err
+	}
+	s.creates.Add(1)
+	return nil
+}
+
+// LogAppend durably logs one fact-append batch.  preVersion is the
+// structure's version immediately before the caller applies the batch
+// in memory; the caller must hold the structure's write lock across
+// both the log write and the apply so the log order equals the apply
+// order.  Under SyncAlways the record is fsynced before LogAppend
+// returns — the acknowledgement guarantee.
+func (s *Store) LogAppend(name, batchID string, preVersion uint64, facts string) error {
+	sync := false
+	switch s.policy {
+	case SyncAlways:
+		sync = true
+	case SyncBatch:
+		s.mu.Lock()
+		sync = s.pending+1 >= s.batchAppends
+		s.mu.Unlock()
+	}
+	if err := s.writeRecord(Record{Type: recAppend, Name: name, BatchID: batchID, PreVersion: preVersion, Facts: facts}, sync); err != nil {
+		return err
+	}
+	s.appends.Add(1)
+	return nil
+}
+
+// writeRecord frames and writes rec, optionally fsyncing.
+func (s *Store) writeRecord(rec Record, sync bool) error {
+	buf := appendRecord(nil, rec)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("wal: store is closed")
+	}
+	if s.broken {
+		return fmt.Errorf("wal: store is failed (earlier write error); restart to recover")
+	}
+	n, err := s.w.Write(buf)
+	s.size += int64(n)
+	if err != nil {
+		s.broken = true
+		return err
+	}
+	s.pending++
+	if sync {
+		if err := s.syncLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncLocked fsyncs the WAL under s.mu.
+func (s *Store) syncLocked() error {
+	if err := s.w.Sync(); err != nil {
+		s.broken = true
+		return err
+	}
+	s.pending = 0
+	s.syncs.Add(1)
+	return nil
+}
+
+// Flush fsyncs any buffered appends (SyncBatch/SyncNever callers use
+// it at quiesce points; graceful shutdown calls it via Close).
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.broken {
+		return nil
+	}
+	if s.pending == 0 {
+		return nil
+	}
+	return s.syncLocked()
+}
+
+// Close flushes and closes the log.  Idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if !s.broken && s.pending > 0 {
+		err = s.w.Sync()
+		if err == nil {
+			s.syncs.Add(1)
+		}
+	}
+	if cerr := s.w.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WALSize returns the active log's size in bytes (header included) —
+// the serving layer's compaction trigger.
+func (s *Store) WALSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Stats snapshots the store's telemetry.
+func (s *Store) Stats() StoreStats {
+	return StoreStats{
+		WALBytes:    s.WALSize(),
+		Appends:     s.appends.Load(),
+		Creates:     s.creates.Load(),
+		Compactions: s.compactions.Load(),
+		Syncs:       s.syncs.Load(),
+		Fsync:       s.policy.String(),
+	}
+}
+
+// Compact snapshots every given structure and then truncates the WAL —
+// the snapshot-then-truncate invariant: the WAL is only cut after
+// every structure's snapshot is durably renamed into place, so at any
+// crash point the union of snapshots and remaining WAL still replays
+// to the current state (replay across a half-finished compaction is
+// idempotent).
+//
+// The caller must hold every structure it passes quiescent (the
+// serving layer holds all structure read locks plus its registry lock,
+// blocking appends and creations) for the duration: a record logged
+// concurrently with the truncation would be lost.
+func (s *Store) Compact(structs map[string]*structure.Structure) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("wal: store is closed")
+	}
+	// 1. Snapshots: tmp + fsync + rename, then fsync the directory.
+	for name, b := range structs {
+		data := EncodeSnapshot(name, b)
+		final := s.snapPath(name)
+		tmp := final + ".tmp"
+		f, err := s.fs.Create(tmp)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(data); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if err := s.fs.Rename(tmp, final); err != nil {
+			return err
+		}
+	}
+	if err := s.fs.SyncDir(s.snapDir()); err != nil {
+		return err
+	}
+	// 2. Truncate: atomically replace the WAL with a fresh empty one.
+	tmp := s.walPath() + ".tmp"
+	if err := s.writeFreshWAL(tmp); err != nil {
+		return err
+	}
+	if err := s.fs.Rename(tmp, s.walPath()); err != nil {
+		return err
+	}
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return err
+	}
+	// 3. Swing the append handle onto the new file.  Failing here
+	// breaks the store (the old handle points at an unlinked file);
+	// recovery at next boot is unaffected.
+	old := s.w
+	w, err := s.fs.OpenAppend(s.walPath())
+	if err != nil {
+		s.broken = true
+		return err
+	}
+	s.w = w
+	old.Close()
+	s.size = int64(len(walMagic))
+	s.pending = 0
+	s.compactions.Add(1)
+	return nil
+}
