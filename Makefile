@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet doccheck bench bench-smoke bench-baseline bench-compare fuzz-smoke crash-smoke
+.PHONY: build test race vet doccheck bench bench-smoke bench-baseline bench-compare fuzz-smoke crash-smoke cluster-smoke
 
 # Hot-path micro-benchmarks the bench-baseline / bench-compare pair
 # tracks: bitmap intersection, prefix-index probe+build, memo-warm batch
@@ -74,3 +74,11 @@ fuzz-smoke:
 crash-smoke:
 	$(GO) test -race -count=1 ./internal/wal
 	$(GO) test -race -count=1 -run 'TestServeRecovery|TestAppendIdempotency|TestShutdownDrains|TestHealthz|TestServerRestart|TestKillRestartLiveStream|TestCompactionUnderLoad' ./internal/serve
+
+# Cluster suite under the race detector: the randomized
+# coordinator-vs-single-node differential over real loopback HTTP, the
+# 503-mid-shutdown scatter-gather reroute regression, dead-shard
+# failover, the consistent-hash stability property test, and the
+# partitioned-count recombination differentials.
+cluster-smoke:
+	$(GO) test -race -count=1 ./internal/cluster

@@ -11,6 +11,7 @@
 //	epserved -addr :8080 -workers 8 -max-inflight 128 -timeout 10s
 //	epserved -load social=social.facts -load web=web.facts
 //	epserved -data-dir /var/lib/epserved -fsync always
+//	epserved -router http://shard0:8080,http://shard1:8080 -replicas 2
 //
 // Endpoints:
 //
@@ -32,6 +33,14 @@
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
 // in-flight requests drain (up to -drain), and the durability store
 // flushes and closes after the last append writer finishes.
+//
+// With -router the process is a cluster coordinator instead of a shard:
+// it serves the same API but owns no structures itself, routing every
+// request over the comma-separated shard list by consistent hashing
+// with -replicas-way replication, scatter-gather batch counting, and
+// partitioned-structure recombination (see internal/cluster).  -load,
+// -data-dir and the shard-local tuning flags do not apply in router
+// mode.
 package main
 
 import (
@@ -44,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/serve"
 )
 
@@ -71,6 +81,10 @@ func main() {
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for in-flight requests")
 		dataDir   = flag.String("data-dir", "", "durability directory (WAL + snapshots); empty = in-memory only")
 		fsync     = flag.String("fsync", "batch", "WAL sync policy with -data-dir: always | batch | never")
+		router    = flag.String("router", "", "run as a cluster coordinator over this comma-separated shard URL list instead of serving structures locally")
+		replicas  = flag.Int("replicas", 1, "router mode: replication factor (structures live on this many ring successors)")
+		vnodes    = flag.Int("vnodes", 0, "router mode: virtual nodes per shard on the hash ring (0 = 64)")
+		maxIdle   = flag.Int("max-idle-per-host", 0, "router mode: pooled keep-alive connections per shard for scatter-gather fan-out (0 = 32)")
 		loadSpecs []loadSpec
 	)
 	flag.Func("load", "preload a structure at startup as name=factfile (repeatable)", func(s string) error {
@@ -83,10 +97,58 @@ func main() {
 	})
 	flag.Parse()
 
-	if err := run(*addr, *workers, *inflight, *timeout, *queryCap, *drain, *dataDir, *fsync, loadSpecs); err != nil {
+	var err error
+	if *router != "" {
+		err = runRouter(*addr, *router, *replicas, *vnodes, *maxIdle, *timeout, *drain, *dataDir, loadSpecs)
+	} else {
+		err = run(*addr, *workers, *inflight, *timeout, *queryCap, *drain, *dataDir, *fsync, loadSpecs)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "epserved:", err)
 		os.Exit(1)
 	}
+}
+
+// runRouter starts the process as a cluster coordinator over the given
+// shard fleet.  Shard-local flags are rejected rather than silently
+// ignored: a router holds no structures and no durability store.
+func runRouter(addr, shardList string, replicas, vnodes, maxIdle int, timeout, drain time.Duration, dataDir string, loads []loadSpec) error {
+	if dataDir != "" {
+		return fmt.Errorf("-data-dir does not apply in router mode (shards own durability); run it on the shard processes")
+	}
+	if len(loads) > 0 {
+		return fmt.Errorf("-load does not apply in router mode; preload through the API so creates replicate")
+	}
+	var shards []string
+	for _, s := range strings.Split(shardList, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			shards = append(shards, s)
+		}
+	}
+	co, err := cluster.New(cluster.Config{
+		Shards:              shards,
+		Replicas:            replicas,
+		VNodes:              vnodes,
+		MaxIdleConnsPerHost: maxIdle,
+		RequestTimeout:      timeout,
+		Addr:                addr,
+	})
+	if err != nil {
+		return err
+	}
+	if err := co.Start(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "epserved: routing %d shards (replicas=%d, vnodes=%d), listening on %s\n",
+		len(shards), co.Replicas(), co.Ring().VNodes(), co.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "epserved: router shutting down (draining in-flight requests)")
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	return co.Shutdown(ctx)
 }
 
 func run(addr string, workers, inflight int, timeout time.Duration, queryCap int, drain time.Duration, dataDir, fsync string, loads []loadSpec) error {

@@ -1,0 +1,593 @@
+package cluster
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/parser"
+	"repro/internal/serve"
+	"repro/internal/structure"
+)
+
+// Config tunes a cluster Coordinator.
+type Config struct {
+	// Shards are the shard nodes' base URLs ("http://10.0.0.1:8080").
+	// At least one; order is the stable node identity the ring hashes.
+	Shards []string
+	// Replicas is the replication factor R: structures are created on R
+	// distinct ring successors and reads fail over among them (≤ 0 or
+	// > len(Shards) clamps into [1, len(Shards)]).
+	Replicas int
+	// VNodes is the ring's virtual-node count per shard (≤ 0 = 64).
+	VNodes int
+	// MaxIdleConnsPerHost sizes the shared transport's keep-alive pool
+	// per shard (≤ 0 = 32) — the scatter-gather fan-out knob.
+	MaxIdleConnsPerHost int
+	// Retry is the per-shard client retry policy applied to idempotent
+	// calls before the coordinator fails over to another replica
+	// (zero value = 2 attempts, 25ms base, 250ms cap).
+	Retry serve.RetryPolicy
+	// RequestTimeout bounds routed counting requests (≤ 0 = 30s);
+	// request timeout_ms can lower it, never raise it.
+	RequestTimeout time.Duration
+	// Addr is the coordinator's listen address (empty = ":0").
+	Addr string
+	// MaxPartitions caps partitioned creates (≤ 0 = 64).
+	MaxPartitions int
+	// HTTPClient overrides the shared transport (tests); nil builds one
+	// from MaxIdleConnsPerHost.
+	HTTPClient *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.Replicas > len(c.Shards) {
+		c.Replicas = len(c.Shards)
+	}
+	if c.Retry.MaxAttempts == 0 {
+		c.Retry = serve.RetryPolicy{MaxAttempts: 2, BaseDelay: 25 * time.Millisecond, MaxDelay: 250 * time.Millisecond}
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxPartitions <= 0 {
+		c.MaxPartitions = 64
+	}
+	return c
+}
+
+// partSep separates a logical partitioned structure's name from its
+// part index in the shard-resident part names ("users@p3").  Client-
+// facing names must not contain it.
+const partSep = "@p"
+
+// partitioned is one logical partitioned structure the coordinator
+// tracks: its part names (shard residency follows the ring) and the
+// immutable logical metadata.
+type partitioned struct {
+	name   string
+	parts  []string
+	size   int
+	tuples int
+	sig    *structure.Signature
+}
+
+// planKey caches recombination plans per (query, signature).
+type planKey struct {
+	query string
+	sig   string
+}
+
+// Coordinator is the cluster router: it speaks the same HTTP/JSON API
+// as a single epserved node (serve.Client works against it unchanged)
+// and fans requests out over the shard fleet — consistent-hash routing
+// with replication for plain structures, exact inclusion–exclusion
+// recombination for partitioned ones.  Create with New, then Start /
+// Shutdown, or mount Handler.
+type Coordinator struct {
+	cfg     Config
+	ring    *Ring
+	clients map[string]*serve.Client
+	nodeIdx map[string]int
+	mux     *http.ServeMux
+	started time.Time
+
+	mu    sync.RWMutex
+	parts map[string]*partitioned
+	plans map[planKey]*partPlan
+
+	scatters  atomic.Uint64
+	failovers atomic.Uint64
+	rerouted  atomic.Uint64
+
+	batchPrefix string
+	batchSeq    atomic.Uint64
+
+	httpSrv  *http.Server
+	listener net.Listener
+}
+
+// planCacheCap bounds the recombination-plan cache; reaching it wipes
+// the cache wholesale (a memo: entries rebuild on demand).
+const planCacheCap = 256
+
+// New builds a Coordinator over the configured shard fleet.  It does
+// not contact the shards; routing state is purely local (the ring).
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	ring, err := NewRing(cfg.Shards, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = serve.SharedTransport(cfg.MaxIdleConnsPerHost)
+	}
+	var rnd [6]byte
+	if _, err := rand.Read(rnd[:]); err != nil {
+		return nil, err
+	}
+	co := &Coordinator{
+		cfg:         cfg,
+		ring:        ring,
+		clients:     make(map[string]*serve.Client, len(cfg.Shards)),
+		nodeIdx:     make(map[string]int, len(cfg.Shards)),
+		mux:         http.NewServeMux(),
+		started:     time.Now(),
+		parts:       make(map[string]*partitioned),
+		plans:       make(map[planKey]*partPlan),
+		batchPrefix: hex.EncodeToString(rnd[:]),
+	}
+	for i, s := range cfg.Shards {
+		co.clients[s] = serve.NewClient(s, hc).WithRetry(cfg.Retry)
+		co.nodeIdx[s] = i
+	}
+	co.routes()
+	return co, nil
+}
+
+// client returns the pooled typed client of a shard node.
+func (co *Coordinator) client(node string) *serve.Client { return co.clients[node] }
+
+// Ring exposes the coordinator's hash ring (telemetry, tests).
+func (co *Coordinator) Ring() *Ring { return co.ring }
+
+// Replicas returns the effective replication factor (clamped to the
+// shard count).
+func (co *Coordinator) Replicas() int { return co.cfg.Replicas }
+
+// Handler returns the coordinator's HTTP handler.
+func (co *Coordinator) Handler() http.Handler { return co.mux }
+
+// Start listens on cfg.Addr and serves in a background goroutine until
+// Shutdown; Addr is valid once Start returns.
+func (co *Coordinator) Start() error {
+	addr := co.cfg.Addr
+	if addr == "" {
+		addr = ":0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	co.listener = ln
+	co.httpSrv = &http.Server{Handler: co.mux}
+	go func() { _ = co.httpSrv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address after Start.
+func (co *Coordinator) Addr() string {
+	if co.listener == nil {
+		return ""
+	}
+	return co.listener.Addr().String()
+}
+
+// Shutdown stops a Started coordinator: the listener closes and
+// in-flight routed requests run to completion or ctx expires.  The
+// shards are not touched — they have their own lifecycles.
+func (co *Coordinator) Shutdown(ctx context.Context) error {
+	if co.httpSrv == nil {
+		return nil
+	}
+	return co.httpSrv.Shutdown(ctx)
+}
+
+// genBatchID mints a cluster-unique append idempotency id, used when a
+// client appends without one: the same id propagates the batch to
+// every replica, so the per-structure batch memos make the multi-
+// replica apply exactly-once even under the coordinator's own retries.
+func (co *Coordinator) genBatchID() string {
+	return fmt.Sprintf("coord-%s-%d", co.batchPrefix, co.batchSeq.Add(1))
+}
+
+// partitionedFor resolves a logical partitioned structure, nil when
+// the name is not partitioned.
+func (co *Coordinator) partitionedFor(name string) *partitioned {
+	co.mu.RLock()
+	defer co.mu.RUnlock()
+	return co.parts[name]
+}
+
+// ---- routing primitives ----
+
+// failoverable reports whether a routed call's failure is worth
+// retrying on another replica: transport-level errors (connection
+// refused or dropped — the node is gone or restarting) and the
+// transient statuses 503 (admission or graceful shutdown), 504
+// (deadline) and 404 (replica missing the structure, e.g. a lagging
+// create).  Semantic failures (400, 409, 422) fail identically on
+// every replica and are returned as-is.
+func failoverable(err error) bool {
+	var ae *serve.APIError
+	if errors.As(err, &ae) {
+		switch ae.Status {
+		case http.StatusServiceUnavailable, http.StatusGatewayTimeout, http.StatusNotFound:
+			return true
+		}
+		return false
+	}
+	return true
+}
+
+// replicaAt picks the warm replica for (query, structure): the ring's
+// owner list rotated by a query hash, so the same query on the same
+// structure always lands on the same replica (its session memo stays
+// warm) while distinct queries spread across the replica set.
+func (co *Coordinator) replicaAt(query, name string) (owners []string, start int) {
+	owners = co.ring.Owners(name, co.cfg.Replicas)
+	start = int(ringHash(query) % uint64(len(owners)))
+	return owners, start
+}
+
+// countOne routes one /count with warm-replica selection and failover:
+// a failoverable error moves to the next replica in rotation; skip (if
+// non-empty) is excluded up front — the group reroute path uses it to
+// avoid a shard that just failed a batch.
+func (co *Coordinator) countOne(ctx context.Context, req serve.CountRequest, skip string) (serve.CountResponse, error) {
+	owners, start := co.replicaAt(req.Query, req.Structure)
+	var lastErr error
+	tried := 0
+	for i := 0; i < len(owners); i++ {
+		node := owners[(start+i)%len(owners)]
+		if node == skip && len(owners) > 1 {
+			continue
+		}
+		if tried > 0 {
+			co.failovers.Add(1)
+		}
+		tried++
+		_, resp, err := co.client(node).CountWith(ctx, req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !failoverable(err) || ctx.Err() != nil {
+			return serve.CountResponse{}, err
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("cluster: no replica available for %q", req.Structure)
+	}
+	return serve.CountResponse{}, lastErr
+}
+
+// groupResult is one structure's routed count within a scatter-gather
+// batch.
+type groupResult struct {
+	count   string
+	version uint64
+}
+
+// scatterBatch fans one query over many plain structures: structures
+// group by their warm replica shard, each group runs as one upstream
+// /countBatch, groups run concurrently, and results reassemble in
+// request order.  A shard-level failoverable failure (503 from a node
+// draining, a dropped connection) does not fail the request: that
+// group's structures reroute individually to surviving replicas.
+func (co *Coordinator) scatterBatch(ctx context.Context, query string, names []string, engineName string, timeoutMillis int64) ([]groupResult, error) {
+	type group struct {
+		node string
+		idx  []int
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for i, name := range names {
+		owners, start := co.replicaAt(query, name)
+		node := owners[start]
+		g, ok := groups[node]
+		if !ok {
+			g = &group{node: node}
+			groups[node] = g
+			order = append(order, node)
+		}
+		g.idx = append(g.idx, i)
+	}
+	co.scatters.Add(1)
+	out := make([]groupResult, len(names))
+	errs := make([]error, len(order))
+	var wg sync.WaitGroup
+	for gi, node := range order {
+		g := groups[node]
+		wg.Add(1)
+		go func(gi int, g *group) {
+			defer wg.Done()
+			sub := make([]string, len(g.idx))
+			for j, i := range g.idx {
+				sub[j] = names[i]
+			}
+			req := serve.CountBatchRequest{Query: query, Structures: sub, Engine: engineName, TimeoutMillis: timeoutMillis}
+			_, resp, err := co.client(g.node).CountBatchWith(ctx, req)
+			if err == nil {
+				for j, i := range g.idx {
+					out[i] = groupResult{count: resp.Counts[j], version: resp.Versions[j]}
+				}
+				return
+			}
+			if !failoverable(err) || ctx.Err() != nil {
+				errs[gi] = err
+				return
+			}
+			// The shard failed the whole group (draining, refused,
+			// dropped): reroute each structure to a surviving replica.
+			co.rerouted.Add(1)
+			for _, i := range g.idx {
+				cresp, cerr := co.countOne(ctx, serve.CountRequest{
+					Query: query, Structure: names[i], Engine: engineName, TimeoutMillis: timeoutMillis,
+				}, g.node)
+				if cerr != nil {
+					errs[gi] = cerr
+					return
+				}
+				out[i] = groupResult{count: cresp.Count, version: cresp.Version}
+			}
+		}(gi, g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ---- partitioned structures ----
+
+// planFor resolves (building and caching on first use) the
+// recombination plan of a query over a partitioned structure's
+// signature.
+func (co *Coordinator) planFor(query string, p *partitioned) (*partPlan, error) {
+	key := planKey{query: query, sig: p.sig.String()}
+	co.mu.RLock()
+	pl := co.plans[key]
+	co.mu.RUnlock()
+	if pl != nil {
+		return pl, nil
+	}
+	pl, err := buildPartitionPlan(query, p.sig)
+	if err != nil {
+		return nil, err
+	}
+	co.mu.Lock()
+	if prev := co.plans[key]; prev != nil {
+		pl = prev
+	} else {
+		if len(co.plans) >= planCacheCap {
+			co.plans = make(map[planKey]*partPlan, planCacheCap)
+		}
+		co.plans[key] = pl
+	}
+	co.mu.Unlock()
+	return pl, nil
+}
+
+// partitionedCount evaluates a query against a partitioned structure:
+// every component query of the recombination plan scatters over all
+// parts (riding the same grouped scatter-gather and failover as plain
+// batches), per-part counts sum per component, and the plan reassembles
+// the exact logical count.
+func (co *Coordinator) partitionedCount(ctx context.Context, p *partitioned, query, engineName string, timeoutMillis int64) (*big.Int, error) {
+	pl, err := co.planFor(query, p)
+	if err != nil {
+		return nil, err
+	}
+	totals := make([]*big.Int, len(pl.comps))
+	errs := make([]error, len(pl.comps))
+	var wg sync.WaitGroup
+	for ci := range pl.comps {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			results, err := co.scatterBatch(ctx, pl.comps[ci].query, p.parts, engineName, timeoutMillis)
+			if err != nil {
+				errs[ci] = err
+				return
+			}
+			sum := new(big.Int)
+			var v big.Int
+			for _, r := range results {
+				if _, ok := v.SetString(r.count, 10); !ok {
+					errs[ci] = fmt.Errorf("cluster: malformed part count %q", r.count)
+					return
+				}
+				sum.Add(sum, &v)
+			}
+			totals[ci] = sum
+		}(ci)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return pl.combine(totals, p.size), nil
+}
+
+// createOnOwners creates one (part or plain) structure on its R ring
+// owners, primary first.  The first error aborts the walk; already-
+// created replicas remain (a retried create dedups into 409s, which
+// the caller may treat as success for parts).
+func (co *Coordinator) createOnOwners(ctx context.Context, req serve.CreateStructureRequest) (serve.StructureInfo, error) {
+	owners := co.ring.Owners(req.Name, co.cfg.Replicas)
+	var primary serve.StructureInfo
+	for i, node := range owners {
+		info, err := co.client(node).CreateStructureWith(ctx, req)
+		if err != nil {
+			return serve.StructureInfo{}, err
+		}
+		if i == 0 {
+			primary = info
+		}
+	}
+	return primary, nil
+}
+
+// createPartitioned parses the structure on the coordinator, splits it
+// into Gaifman-component parts, creates every part (with the explicit
+// signature, so empty parts stay well-typed) on its ring owners, and
+// registers the logical structure.  Partitioned structures are
+// immutable after creation: appends could join components across
+// parts, which would break the disjoint-union invariant the exact
+// recombination rests on.
+func (co *Coordinator) createPartitioned(ctx context.Context, req serve.CreateStructureRequest) (serve.StructureInfo, error) {
+	if req.Partitions > co.cfg.MaxPartitions {
+		return serve.StructureInfo{}, fmt.Errorf("cluster: %d partitions exceed the cap of %d", req.Partitions, co.cfg.MaxPartitions)
+	}
+	var sig *structure.Signature
+	if len(req.Signature) > 0 {
+		rels := make([]structure.RelSym, len(req.Signature))
+		for i, rs := range req.Signature {
+			rels[i] = structure.RelSym{Name: rs.Name, Arity: rs.Arity}
+		}
+		var err error
+		sig, err = structure.NewSignature(rels...)
+		if err != nil {
+			return serve.StructureInfo{}, err
+		}
+	}
+	b, err := parser.ParseStructure(req.Facts, sig)
+	if err != nil {
+		return serve.StructureInfo{}, err
+	}
+	spec := make([]serve.RelSpec, 0, len(b.Signature().Rels()))
+	for _, r := range b.Signature().Rels() {
+		spec = append(spec, serve.RelSpec{Name: r.Name, Arity: r.Arity})
+	}
+	if b.Size() == 0 {
+		return serve.StructureInfo{}, fmt.Errorf("cluster: an empty structure cannot be partitioned")
+	}
+	bins := partitionElems(b, req.Partitions)
+	p := &partitioned{name: req.Name, size: b.Size(), tuples: b.NumTuples(), sig: b.Signature()}
+	for i, bin := range bins {
+		// Fewer Gaifman components than requested partitions leaves some
+		// bins empty; an empty part would be uncountable (the engine
+		// refuses empty universes), so it simply is not created —
+		// `partitions` is a ceiling, not a promise.
+		if len(bin) == 0 {
+			continue
+		}
+		part, _ := b.Induced(bin)
+		facts, err := part.FactsString()
+		if err != nil {
+			return serve.StructureInfo{}, err
+		}
+		partName := fmt.Sprintf("%s%s%d", req.Name, partSep, i)
+		if _, err := co.createOnOwners(ctx, serve.CreateStructureRequest{Name: partName, Facts: facts, Signature: spec}); err != nil {
+			return serve.StructureInfo{}, err
+		}
+		p.parts = append(p.parts, partName)
+	}
+	co.mu.Lock()
+	if _, dup := co.parts[req.Name]; dup {
+		co.mu.Unlock()
+		return serve.StructureInfo{}, errDuplicatePartitioned
+	}
+	co.parts[req.Name] = p
+	co.mu.Unlock()
+	return serve.StructureInfo{Name: req.Name, Size: p.size, Tuples: p.tuples}, nil
+}
+
+// errDuplicatePartitioned marks a partitioned-create name collision.
+var errDuplicatePartitioned = errors.New("cluster: partitioned structure already exists")
+
+// logicalInfo is the wire metadata of a partitioned structure (version
+// 0: partitioned structures are immutable).
+func (p *partitioned) logicalInfo() serve.StructureInfo {
+	return serve.StructureInfo{Name: p.name, Size: p.size, Tuples: p.tuples}
+}
+
+// isPartName reports whether a shard-resident structure name is an
+// internal partition part (hidden from cluster listings).
+func isPartName(name string) bool { return strings.Contains(name, partSep) }
+
+// mergedStructures builds the cluster's logical structure list: every
+// shard's registry fanned in, part names hidden, replicas deduplicated
+// (the ring primary's row wins), partitioned logical rows appended.
+// Unreachable shards are skipped — listing degrades, it does not fail.
+func (co *Coordinator) mergedStructures(ctx context.Context) []serve.StructureInfo {
+	type shardList struct {
+		node  string
+		infos []serve.StructureInfo
+	}
+	lists := make([]shardList, len(co.cfg.Shards))
+	var wg sync.WaitGroup
+	for i, node := range co.cfg.Shards {
+		wg.Add(1)
+		go func(i int, node string) {
+			defer wg.Done()
+			infos, err := co.client(node).Structures(ctx)
+			if err == nil {
+				lists[i] = shardList{node: node, infos: infos}
+			}
+		}(i, node)
+	}
+	wg.Wait()
+	byName := make(map[string]serve.StructureInfo)
+	fromPrimary := make(map[string]bool)
+	for _, l := range lists {
+		for _, info := range l.infos {
+			if isPartName(info.Name) {
+				continue
+			}
+			primary := co.ring.Owner(info.Name) == l.node
+			prev, ok := byName[info.Name]
+			// Prefer the ring primary's row; among replicas keep the
+			// freshest version (a replica may trail mid-append).
+			if !ok || primary || (!fromPrimary[info.Name] && info.Version > prev.Version) {
+				byName[info.Name] = info
+				fromPrimary[info.Name] = primary
+			}
+		}
+	}
+	co.mu.RLock()
+	for name, p := range co.parts {
+		byName[name] = p.logicalInfo()
+	}
+	co.mu.RUnlock()
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]serve.StructureInfo, 0, len(names))
+	for _, n := range names {
+		out = append(out, byName[n])
+	}
+	return out
+}

@@ -1,0 +1,460 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// The coordinator's HTTP layer.  It mounts the exact route set of a
+// single-node serve.Server, so serve.Client (and every tool built on
+// it) talks to a cluster without knowing it is one.
+
+// routes registers the coordinator's handlers on its mux.
+func (co *Coordinator) routes() {
+	co.mux.HandleFunc("POST /structures", co.handleCreateStructure)
+	co.mux.HandleFunc("GET /structures", co.handleListStructures)
+	co.mux.HandleFunc("GET /structures/{name}", co.handleGetStructure)
+	co.mux.HandleFunc("POST /structures/{name}/facts", co.handleAppendFacts)
+	co.mux.HandleFunc("POST /count", co.handleCount)
+	co.mux.HandleFunc("POST /countBatch", co.handleCountBatch)
+	co.mux.HandleFunc("POST /subscriptions", co.handleSubscribe)
+	co.mux.HandleFunc("GET /subscriptions", co.handleListSubscriptions)
+	co.mux.HandleFunc("GET /subscriptions/{id}", co.handleSubscriptionCount)
+	co.mux.HandleFunc("DELETE /subscriptions/{id}", co.handleUnsubscribe)
+	co.mux.HandleFunc("GET /stats", co.handleStats)
+	co.mux.HandleFunc("GET /healthz", co.handleHealthz)
+}
+
+// ---- request plumbing (mirrors serve's unexported helpers) ----
+
+const maxRequestBytes = 64 << 20
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, serve.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// statusError is a routed-request failure that already knows its HTTP
+// status (validation failures, partitioned-name collisions).
+type statusError struct {
+	status int
+	msg    string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// writeRoutedError maps a routing failure onto the response: a
+// statusError carries its own status, an upstream serve.APIError passes
+// through status and message unchanged (so the coordinator is
+// transparent), and anything else — a transport failure after all
+// replicas were tried — becomes 502.
+func writeRoutedError(w http.ResponseWriter, err error) {
+	var se *statusError
+	if errors.As(err, &se) {
+		writeError(w, se.status, "%s", se.msg)
+		return
+	}
+	var ae *serve.APIError
+	if errors.As(err, &ae) {
+		if ae.Status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
+		msg := ae.Msg
+		if msg == "" {
+			msg = ae.Error()
+		}
+		writeError(w, ae.Status, "%s", msg)
+		return
+	}
+	writeError(w, http.StatusBadGateway, "%v", err)
+}
+
+// requestCtx bounds a routed counting request by the coordinator's
+// deadline, optionally lowered by the request's timeout_ms.
+func (co *Coordinator) requestCtx(r *http.Request, timeoutMillis int64) (context.Context, context.CancelFunc) {
+	d := co.cfg.RequestTimeout
+	if timeoutMillis > 0 {
+		if td := time.Duration(timeoutMillis) * time.Millisecond; td < d {
+			d = td
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// ---- structures ----
+
+func (co *Coordinator) handleCreateStructure(w http.ResponseWriter, r *http.Request) {
+	var req serve.CreateStructureRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if strings.Contains(req.Name, partSep) {
+		writeError(w, http.StatusBadRequest, "structure name must not contain %q (reserved for partition parts)", partSep)
+		return
+	}
+	if req.Partitions < 0 {
+		writeError(w, http.StatusBadRequest, "partitions must be ≥ 0")
+		return
+	}
+	if co.partitionedFor(req.Name) != nil {
+		writeError(w, http.StatusConflict, "structure %q already exists", req.Name)
+		return
+	}
+	if req.Partitions > 1 {
+		info, err := co.createPartitioned(r.Context(), req)
+		if err != nil {
+			if errors.Is(err, errDuplicatePartitioned) {
+				writeError(w, http.StatusConflict, "structure %q already exists", req.Name)
+				return
+			}
+			var ae *serve.APIError
+			if errors.As(err, &ae) {
+				writeRoutedError(w, err)
+				return
+			}
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+		return
+	}
+	req.Partitions = 0
+	info, err := co.createOnOwners(r.Context(), req)
+	if err != nil {
+		writeRoutedError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (co *Coordinator) handleListStructures(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, serve.StructuresResponse{Structures: co.mergedStructures(r.Context())})
+}
+
+func (co *Coordinator) handleGetStructure(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if p := co.partitionedFor(name); p != nil {
+		writeJSON(w, http.StatusOK, p.logicalInfo())
+		return
+	}
+	owners := co.ring.Owners(name, co.cfg.Replicas)
+	var lastErr error
+	for _, node := range owners {
+		info, err := co.client(node).Structure(r.Context(), name)
+		if err == nil {
+			writeJSON(w, http.StatusOK, info)
+			return
+		}
+		lastErr = err
+		if !failoverable(err) {
+			break
+		}
+	}
+	writeRoutedError(w, lastErr)
+}
+
+func (co *Coordinator) handleAppendFacts(w http.ResponseWriter, r *http.Request) {
+	var req serve.AppendFactsRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	name := r.PathValue("name")
+	if co.partitionedFor(name) != nil {
+		writeError(w, http.StatusBadRequest,
+			"partitioned structure %q is immutable: an append could join Gaifman components across parts and break the disjoint-union invariant the exact recombination relies on", name)
+		return
+	}
+	if isPartName(name) {
+		writeError(w, http.StatusBadRequest, "structure %q is an internal partition part", name)
+		return
+	}
+	// The same idempotency id propagates the batch to every replica
+	// (and across coordinator retries): the per-structure batch memo on
+	// each shard makes the multi-replica apply exactly-once.
+	id := req.BatchID
+	if id == "" {
+		id = co.genBatchID()
+	}
+	owners := co.ring.Owners(name, co.cfg.Replicas)
+	var primary serve.StructureInfo
+	for i, node := range owners {
+		info, err := co.client(node).AppendFactsBatch(r.Context(), name, req.Facts, id)
+		if err != nil {
+			writeRoutedError(w, err)
+			return
+		}
+		if i == 0 {
+			primary = info
+		}
+	}
+	// Echo what the client sent (empty when the id was coordinator-
+	// minted), matching single-node response semantics.
+	primary.BatchID = req.BatchID
+	writeJSON(w, http.StatusOK, primary)
+}
+
+// ---- counting ----
+
+func (co *Coordinator) handleCount(w http.ResponseWriter, r *http.Request) {
+	var req serve.CountRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	ctx, cancel := co.requestCtx(r, req.TimeoutMillis)
+	defer cancel()
+	if p := co.partitionedFor(req.Structure); p != nil {
+		start := time.Now()
+		v, err := co.partitionedCount(ctx, p, req.Query, req.Engine, req.TimeoutMillis)
+		if err != nil {
+			writeRoutedError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, serve.CountResponse{
+			Count:     v.String(),
+			ElapsedUS: time.Since(start).Microseconds(),
+		})
+		return
+	}
+	resp, err := co.countOne(ctx, req, "")
+	if err != nil {
+		writeRoutedError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (co *Coordinator) handleCountBatch(w http.ResponseWriter, r *http.Request) {
+	var req serve.CountBatchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Structures) == 0 {
+		writeError(w, http.StatusBadRequest, "structures must not be empty")
+		return
+	}
+	ctx, cancel := co.requestCtx(r, req.TimeoutMillis)
+	defer cancel()
+	start := time.Now()
+	counts := make([]string, len(req.Structures))
+	versions := make([]uint64, len(req.Structures))
+	var plainIdx []int
+	var partIdx []int
+	for i, name := range req.Structures {
+		if co.partitionedFor(name) != nil {
+			partIdx = append(partIdx, i)
+		} else {
+			plainIdx = append(plainIdx, i)
+		}
+	}
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	if len(plainIdx) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			names := make([]string, len(plainIdx))
+			for j, i := range plainIdx {
+				names[j] = req.Structures[i]
+			}
+			results, err := co.scatterBatch(ctx, req.Query, names, req.Engine, req.TimeoutMillis)
+			if err != nil {
+				setErr(err)
+				return
+			}
+			for j, i := range plainIdx {
+				counts[i] = results[j].count
+				versions[i] = results[j].version
+			}
+		}()
+	}
+	for _, i := range partIdx {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := co.partitionedFor(req.Structures[i])
+			v, err := co.partitionedCount(ctx, p, req.Query, req.Engine, req.TimeoutMillis)
+			if err != nil {
+				setErr(err)
+				return
+			}
+			counts[i] = v.String()
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		writeRoutedError(w, firstErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, serve.CountBatchResponse{
+		Counts:    counts,
+		Versions:  versions,
+		ElapsedUS: time.Since(start).Microseconds(),
+	})
+}
+
+// ---- subscriptions ----
+
+// encodeSubID prefixes an upstream subscription id with its shard's
+// index ("s2~sub-7"), so later reads route straight back to the shard
+// maintaining the count.
+func encodeSubID(nodeIdx int, upstream string) string {
+	return fmt.Sprintf("s%d~%s", nodeIdx, upstream)
+}
+
+// decodeSubID splits a cluster subscription id into shard node and
+// upstream id.
+func (co *Coordinator) decodeSubID(id string) (node, upstream string, err error) {
+	rest, ok := strings.CutPrefix(id, "s")
+	if ok {
+		if idxStr, up, ok2 := strings.Cut(rest, "~"); ok2 {
+			if idx, aerr := strconv.Atoi(idxStr); aerr == nil && idx >= 0 && idx < len(co.cfg.Shards) {
+				return co.cfg.Shards[idx], up, nil
+			}
+		}
+	}
+	return "", "", fmt.Errorf("unknown subscription %q", id)
+}
+
+func (co *Coordinator) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	var req serve.SubscribeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if co.partitionedFor(req.Structure) != nil {
+		writeError(w, http.StatusBadRequest,
+			"subscriptions are not supported on partitioned structures (they are immutable; a plain /count is already exact)")
+		return
+	}
+	// Subscriptions live on the primary owner: the maintained count and
+	// its delta state stay on one shard.
+	primary := co.ring.Owners(req.Structure, co.cfg.Replicas)[0]
+	info, err := co.client(primary).SubscribeWith(r.Context(), req)
+	if err != nil {
+		writeRoutedError(w, err)
+		return
+	}
+	info.ID = encodeSubID(co.nodeIdx[primary], info.ID)
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (co *Coordinator) handleSubscriptionCount(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	node, upstream, err := co.decodeSubID(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	_, info, err := co.client(node).SubscriptionCount(r.Context(), upstream)
+	if err != nil {
+		writeRoutedError(w, err)
+		return
+	}
+	info.ID = id
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (co *Coordinator) handleListSubscriptions(w http.ResponseWriter, r *http.Request) {
+	lists := make([][]serve.SubscriptionInfo, len(co.cfg.Shards))
+	var wg sync.WaitGroup
+	for i, node := range co.cfg.Shards {
+		wg.Add(1)
+		go func(i int, node string) {
+			defer wg.Done()
+			subs, err := co.client(node).Subscriptions(r.Context())
+			if err != nil {
+				return // degraded listing, like /structures
+			}
+			for j := range subs {
+				subs[j].ID = encodeSubID(i, subs[j].ID)
+			}
+			lists[i] = subs
+		}(i, node)
+	}
+	wg.Wait()
+	var out []serve.SubscriptionInfo
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	writeJSON(w, http.StatusOK, serve.SubscriptionsResponse{Subscriptions: out})
+}
+
+func (co *Coordinator) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
+	node, upstream, err := co.decodeSubID(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if err := co.client(node).Unsubscribe(r.Context(), upstream); err != nil {
+		writeRoutedError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// ---- health ----
+
+// handleHealthz fans the health check out to every shard: the cluster
+// is ready only when every shard answers ready; otherwise 503 with a
+// degraded state naming the live fraction, so load balancers keep
+// traffic off a partially-up cluster while operators see how partial.
+func (co *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	oks := make([]bool, len(co.cfg.Shards))
+	var wg sync.WaitGroup
+	for i, node := range co.cfg.Shards {
+		wg.Add(1)
+		go func(i int, node string) {
+			defer wg.Done()
+			oks[i] = co.client(node).Healthz(r.Context()) == nil
+		}(i, node)
+	}
+	wg.Wait()
+	up := 0
+	for _, ok := range oks {
+		if ok {
+			up++
+		}
+	}
+	if up == len(oks) {
+		writeJSON(w, http.StatusOK, serve.HealthzResponse{OK: true, State: "ready"})
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, serve.HealthzResponse{
+		OK:    false,
+		State: fmt.Sprintf("degraded (%d/%d shards ready)", up, len(oks)),
+	})
+}

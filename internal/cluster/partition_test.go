@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/count"
+	"repro/internal/parser"
+	"repro/internal/structure"
+	"repro/internal/workload"
+)
+
+// countDirect counts a query on one structure through the ordinary
+// single-node pipeline — the ground truth the recombination must match
+// bit-for-bit.
+func countDirect(t *testing.T, src string, b *structure.Structure) *big.Int {
+	t.Helper()
+	q, err := parser.ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	c, err := core.NewCounter(q, b.Signature(), count.EngineFPT)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	v, err := c.Count(b)
+	if err != nil {
+		t.Fatalf("count %q: %v", src, err)
+	}
+	return v
+}
+
+// recombinedCount runs the full partitioned pipeline in-process: split
+// the structure into Gaifman-component parts, count every plan
+// component on every part directly, and reassemble with combine.
+func recombinedCount(t *testing.T, src string, b *structure.Structure, parts int) *big.Int {
+	t.Helper()
+	pl, err := buildPartitionPlan(src, b.Signature())
+	if err != nil {
+		t.Fatalf("plan %q: %v", src, err)
+	}
+	bins := partitionElems(b, parts)
+	pbs := make([]*structure.Structure, len(bins))
+	for i, bin := range bins {
+		pbs[i], _ = b.Induced(bin)
+	}
+	totals := make([]*big.Int, len(pl.comps))
+	for ci := range pl.comps {
+		sum := new(big.Int)
+		for _, pb := range pbs {
+			// Empty bins are skipped, as the coordinator skips creating
+			// empty parts: a connected component has no homomorphism into
+			// an empty domain, so the part contributes 0.
+			if pb.Size() == 0 {
+				continue
+			}
+			sum.Add(sum, countDirect(t, pl.comps[ci].query, pb))
+		}
+		totals[ci] = sum
+	}
+	return pl.combine(totals, b.Size())
+}
+
+// multiComponentStructure builds a graph of `clusters` random clusters
+// (edges only within a cluster) plus `isolated` tuple-less elements —
+// several Gaifman components by construction, so a partition into
+// `parts` bins genuinely spreads data.
+func multiComponentStructure(seed int64, clusters, size int, p float64, isolated int) *structure.Structure {
+	rng := rand.New(rand.NewSource(seed))
+	s := structure.New(workload.EdgeSig())
+	for c := 0; c < clusters; c++ {
+		ids := make([]int, size)
+		for i := range ids {
+			ids[i] = s.EnsureElem(fmt.Sprintf("c%dn%d", c, i))
+		}
+		for i := 0; i < size; i++ {
+			for j := 0; j < size; j++ {
+				if rng.Float64() < p {
+					_ = s.AddTuple("E", ids[i], ids[j])
+				}
+			}
+		}
+	}
+	for k := 0; k < isolated; k++ {
+		s.EnsureElem(fmt.Sprintf("iso%d", k))
+	}
+	return s
+}
+
+// partitionQueries is the differential battery: connected and
+// disconnected pp-queries, a sentence, disjuncts with isolated liberal
+// variables, a fully-quantified (boolean-promoted) component, and a
+// random ep-query — every branch of the recombination law.
+func partitionQueries() []string {
+	return []string{
+		workload.FreePathQuery(2).String(),
+		workload.PathQuery(2).String(),
+		workload.CliqueQuery(3).String(),
+		workload.CliqueSentence(3).String(),
+		workload.StarQuery(3).String(),
+		"tri(x,y,z) := E(x,y) & E(y,z) & E(z,x)",
+		"mix(x,y) := E(x,y) | E(x,x)",
+		"boolcomp(x) := exists u, v . E(x,u) & E(v,v)",
+		"twocomp(x,y) := exists u . E(x,u) & E(y,y)",
+		workload.RandomEPQuery(workload.EdgeSig(), 2, 4, 2, 3, 11).String(),
+	}
+}
+
+// TestPartitionElemsInvariants checks the split is a partition of the
+// domain in whole Gaifman components: bins are disjoint, cover every
+// element, and no tuple spans bins.
+func TestPartitionElemsInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		b := workload.RandomStructure(workload.EdgeSig(), 10, 0.12, seed)
+		for _, parts := range []int{1, 2, 3, 7} {
+			bins := partitionElems(b, parts)
+			if len(bins) != parts {
+				t.Fatalf("got %d bins, want %d", len(bins), parts)
+			}
+			binOf := make([]int, b.Size())
+			for i := range binOf {
+				binOf[i] = -1
+			}
+			for bi, bin := range bins {
+				for _, e := range bin {
+					if binOf[e] != -1 {
+						t.Fatalf("element %d in bins %d and %d", e, binOf[e], bi)
+					}
+					binOf[e] = bi
+				}
+			}
+			for e, bi := range binOf {
+				if bi == -1 {
+					t.Fatalf("element %d in no bin", e)
+				}
+			}
+			for _, r := range b.Signature().Rels() {
+				b.ForEachTuple(r.Name, func(tu []int) bool {
+					for _, v := range tu {
+						if binOf[v] != binOf[tu[0]] {
+							t.Fatalf("tuple %v spans bins %d and %d", tu, binOf[tu[0]], binOf[v])
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// TestPartitionDifferential is the exactness proof by differential
+// testing: for random structures (connected, multi-component, with
+// isolated elements, empty) and every query in the battery, the
+// recombined count over 1..5 parts is bit-identical to the single-
+// structure count.
+func TestPartitionDifferential(t *testing.T) {
+	structs := []*structure.Structure{
+		workload.RandomStructure(workload.EdgeSig(), 8, 0.15, 1),
+		workload.RandomStructure(workload.EdgeSig(), 9, 0.25, 2),
+		multiComponentStructure(3, 3, 4, 0.5, 2),
+		multiComponentStructure(4, 4, 3, 0.7, 0),
+	}
+	for si, b := range structs {
+		for _, src := range partitionQueries() {
+			want := countDirect(t, src, b)
+			for _, parts := range []int{1, 2, 3, 5} {
+				got := recombinedCount(t, src, b, parts)
+				if got.Cmp(want) != 0 {
+					t.Fatalf("struct %d (%d elems), %d parts, query %q: recombined %v, direct %v",
+						si, b.Size(), parts, src, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionPlanShape pins structural properties of plans: a
+// disconnected-term query yields ≥ 2 components, fully-quantified
+// components are boolean-promoted, and component queries are
+// deduplicated across terms.
+func TestPartitionPlanShape(t *testing.T) {
+	sig := workload.EdgeSig()
+	pl, err := buildPartitionPlan("twocomp(x,y) := exists u . E(x,u) & E(y,y)", sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.comps) < 2 {
+		t.Fatalf("disconnected term produced %d components: %v", len(pl.comps), pl.componentQueries())
+	}
+	pl, err = buildPartitionPlan("b(x) := exists u, v . E(x,u) & E(v,v)", sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasBool := false
+	for _, c := range pl.comps {
+		if c.boolean {
+			hasBool = true
+		}
+	}
+	if !hasBool {
+		t.Fatalf("fully-quantified component not boolean-promoted: %v", pl.componentQueries())
+	}
+	seen := map[string]bool{}
+	for _, c := range pl.comps {
+		if seen[c.query] {
+			t.Fatalf("duplicate component query %q", c.query)
+		}
+		seen[c.query] = true
+	}
+}

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingOwners pins the basic ring contract: Owner is Owners' head,
+// Owners returns distinct nodes, and n clamps to the node count.
+func TestRingOwners(t *testing.T) {
+	nodes := []string{"n0", "n1", "n2", "n3", "n4"}
+	r, err := NewRing(nodes, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("structure-%d", i)
+		owners := r.Owners(key, 3)
+		if len(owners) != 3 {
+			t.Fatalf("Owners(%q, 3) returned %d nodes", key, len(owners))
+		}
+		if owners[0] != r.Owner(key) {
+			t.Fatalf("Owners(%q)[0] = %q, Owner = %q", key, owners[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("Owners(%q, 3) repeated node %q", key, o)
+			}
+			seen[o] = true
+		}
+		if got := r.Owners(key, 99); len(got) != len(nodes) {
+			t.Fatalf("Owners(%q, 99) = %d nodes, want %d (clamped)", key, len(got), len(nodes))
+		}
+	}
+}
+
+// TestRingConfigErrors pins the constructor's validation.
+func TestRingConfigErrors(t *testing.T) {
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Fatal("empty node list accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 8); err == nil {
+		t.Fatal("empty node name accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 8); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+}
+
+// TestRingStabilityUnderGrowth is the consistent-hashing property test:
+// adding one node to an N-node ring must (a) only ever move a key TO
+// the new node — no key may shuffle between pre-existing nodes — and
+// (b) move roughly the expected 1/(N+1) fraction, not more than double
+// it.  Plain modulo hashing fails (a) catastrophically (it remaps
+// ~N/(N+1) of all keys), which is exactly the failure mode the ring
+// exists to prevent.
+func TestRingStabilityUnderGrowth(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("http://shard%d:8080", i)
+		}
+		before, err := NewRing(nodes, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		added := fmt.Sprintf("http://shard%d:8080", n)
+		after, err := NewRing(append(append([]string(nil), nodes...), added), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const keys = 20000
+		moved := 0
+		for i := 0; i < keys; i++ {
+			key := fmt.Sprintf("structure-%d", i)
+			a, b := before.Owner(key), after.Owner(key)
+			if a == b {
+				continue
+			}
+			if b != added {
+				t.Fatalf("n=%d: key %q moved %q → %q, but only moves to the added node %q are allowed",
+					n, key, a, b, added)
+			}
+			moved++
+		}
+		expected := float64(keys) / float64(n+1)
+		if f := float64(moved); f > 2*expected {
+			t.Fatalf("n=%d: %d/%d keys remapped; expected ≈%.0f (≤ 2x tolerated)", n, moved, keys, expected)
+		}
+		if moved == 0 {
+			t.Fatalf("n=%d: no key remapped to the added node — the node is unreachable", n)
+		}
+	}
+}
+
+// TestRingBalance sanity-checks the vnode load split: with 64 virtual
+// nodes per shard no node should own a wildly disproportionate share.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	r, err := NewRing(nodes, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / keys
+		if share < 0.08 || share > 0.50 {
+			t.Fatalf("node %q owns %.1f%% of keys; vnode balance is off (%v)", n, 100*share, counts)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/count"
+	"repro/internal/parser"
+	"repro/internal/serve"
+	"repro/internal/structure"
+	"repro/internal/workload"
+)
+
+// RunC1 measures the cluster coordinator over real loopback HTTP:
+// warm /count throughput as the shard count grows (1 → 2 → 4),
+// replicated warm reads with query-hash replica pinning, scatter-gather
+// /countBatch against a single node running the same batch, and
+// partitioned-structure counting with exact inclusion–exclusion
+// recombination.  Every response the benchmark observes — every count
+// in every phase — is differential-checked in-process against the
+// library counting the same query on the same data, so a routing,
+// replication, or recombination bug fails the table rather than
+// skewing a number.
+func RunC1(cfg Config) (*Table, error) {
+	clients, warmReqs, batchReps := 8, 480, 60
+	nStructs, nElems := 8, 36
+	if cfg.Quick {
+		clients, warmReqs, batchReps = 4, 120, 15
+		nStructs, nElems = 6, 24
+	}
+
+	ctx := context.Background()
+	local := make(map[string]*structure.Structure, nStructs)
+	names := make([]string, nStructs)
+	for i := range names {
+		names[i] = fmt.Sprintf("g%d", i)
+		local[names[i]] = workload.RandomStructure(workload.EdgeSig(), nElems, 0.15, int64(300+i))
+	}
+
+	expected := func(q string, b *structure.Structure) (*big.Int, error) {
+		query, err := parser.ParseQuery(q)
+		if err != nil {
+			return nil, err
+		}
+		c, err := core.NewCounter(query, b.Signature(), count.EngineFPT)
+		if err != nil {
+			return nil, err
+		}
+		return c.Count(b)
+	}
+
+	tri := "tri(x,y,z) := E(x,y) & E(y,z) & E(z,x)"
+	warmQueries := []string{
+		tri,
+		workload.FreePathQuery(2).String(),
+		workload.PathQuery(3).String(),
+		workload.StarQuery(3).String(),
+	}
+	want := make(map[string]map[string]string) // query → structure → decimal count
+	for _, q := range warmQueries {
+		want[q] = make(map[string]string, nStructs)
+		for _, n := range names {
+			v, err := expected(q, local[n])
+			if err != nil {
+				return nil, err
+			}
+			want[q][n] = v.String()
+		}
+	}
+
+	t := &Table{
+		ID:      "C1",
+		Title:   "Cluster routing — sharded epserved behind a consistent-hash coordinator",
+		Columns: []string{"phase", "shards", "clients", "requests", "elapsed", "req/s", "check"},
+		OK:      true,
+	}
+	addRow := func(phase string, shards, nClients, requests int, elapsed time.Duration, ok bool) {
+		t.Rows = append(t.Rows, []string{
+			phase, fmt.Sprint(shards), fmt.Sprint(nClients), fmt.Sprint(requests),
+			fmtDur(elapsed), fmt.Sprintf("%.0f", float64(requests)/elapsed.Seconds()), yes(ok),
+		})
+		t.OK = t.OK && ok
+	}
+
+	// startCluster brings up nShards real shard servers plus a
+	// coordinator, loads the dataset through the coordinator, and
+	// returns a client aimed at the coordinator.
+	startCluster := func(nShards, replicas int) (*serve.Client, func(), error) {
+		shards := make([]*serve.Server, nShards)
+		urls := make([]string, nShards)
+		for i := range shards {
+			shards[i] = serve.New(serve.Config{MaxInFlight: 4 * clients})
+			if err := shards[i].Start(); err != nil {
+				return nil, nil, err
+			}
+			urls[i] = "http://" + shards[i].Addr()
+		}
+		co, err := cluster.New(cluster.Config{Shards: urls, Replicas: replicas})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := co.Start(); err != nil {
+			return nil, nil, err
+		}
+		shutdown := func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = co.Shutdown(sctx)
+			for _, s := range shards {
+				_ = s.Shutdown(sctx)
+			}
+		}
+		cl := serve.NewClient("http://"+co.Addr(), nil)
+		for _, n := range names {
+			facts, err := local[n].FactsString()
+			if err != nil {
+				shutdown()
+				return nil, nil, err
+			}
+			if _, err := cl.CreateStructure(ctx, n, facts, nil); err != nil {
+				shutdown()
+				return nil, nil, err
+			}
+		}
+		return cl, shutdown, nil
+	}
+
+	// warmPhase hammers warm /count from `clients` goroutines, every
+	// response differential-checked, and returns the row.
+	warmPhase := func(cl *serve.Client, queries []string) (int, time.Duration, bool, error) {
+		// Warm every (query, structure) pair once so the measured loop
+		// is the steady state: one routed memo hit per request.
+		for _, q := range queries {
+			for _, n := range names {
+				v, _, err := cl.Count(ctx, q, n)
+				if err != nil {
+					return 0, 0, false, err
+				}
+				if v.String() != want[q][n] {
+					return 0, 0, false, fmt.Errorf("warmup %q on %s: got %v want %s", q, n, v, want[q][n])
+				}
+			}
+		}
+		perClient := warmReqs / clients
+		var bad atomic.Int64
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(9000 + c)))
+				for i := 0; i < perClient; i++ {
+					q := queries[rng.Intn(len(queries))]
+					n := names[rng.Intn(len(names))]
+					v, _, err := cl.Count(ctx, q, n)
+					if err != nil || v.String() != want[q][n] {
+						bad.Add(1)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		return perClient * clients, time.Since(start), bad.Load() == 0, nil
+	}
+
+	// Phases 1–3: warm /count throughput vs shard count, R=1.
+	for _, nShards := range []int{1, 2, 4} {
+		cl, shutdown, err := startCluster(nShards, 1)
+		if err != nil {
+			return nil, err
+		}
+		reqs, elapsed, ok, err := warmPhase(cl, []string{tri})
+		shutdown()
+		if err != nil {
+			return nil, err
+		}
+		addRow("warm /count via coordinator", nShards, clients, reqs, elapsed, ok)
+	}
+
+	// Phase 4: replicated warm reads — R=2 on 2 shards, four query
+	// texts so the query-hash rotation actually spreads the replica set
+	// while each (query, structure) pair stays pinned to one warm memo.
+	cl, shutdown, err := startCluster(2, 2)
+	if err != nil {
+		return nil, err
+	}
+	reqs, elapsed, ok, err := warmPhase(cl, warmQueries)
+	if err != nil {
+		shutdown()
+		return nil, err
+	}
+	addRow("warm /count, replicated R=2", 2, clients, reqs, elapsed, ok)
+
+	// Phase 5a: scatter-gather /countBatch on the 2-shard cluster.
+	batchOnce := func(c *serve.Client) (bool, error) {
+		vs, _, err := c.CountBatch(ctx, tri, names)
+		if err != nil {
+			return false, err
+		}
+		for i, n := range names {
+			if vs[i].String() != want[tri][n] {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	ok = true
+	start := time.Now()
+	for i := 0; i < batchReps; i++ {
+		good, err := batchOnce(cl)
+		if err != nil {
+			shutdown()
+			return nil, err
+		}
+		ok = ok && good
+	}
+	addRow(fmt.Sprintf("scatter-gather /countBatch (%d structures)", nStructs), 2, 1, batchReps, time.Since(start), ok)
+	shutdown()
+
+	// Phase 5b: the same batch on one plain node — the latency baseline
+	// the scatter-gather row is read against.
+	single := serve.New(serve.Config{MaxInFlight: 4 * clients})
+	if err := single.Start(); err != nil {
+		return nil, err
+	}
+	scl := serve.NewClient("http://"+single.Addr(), nil)
+	for _, n := range names {
+		facts, err := local[n].FactsString()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := scl.CreateStructure(ctx, n, facts, nil); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := batchOnce(scl); err != nil {
+		return nil, err
+	}
+	ok = true
+	start = time.Now()
+	for i := 0; i < batchReps; i++ {
+		good, err := batchOnce(scl)
+		if err != nil {
+			return nil, err
+		}
+		ok = ok && good
+	}
+	addRow(fmt.Sprintf("single-node /countBatch (%d structures)", nStructs), 1, 1, batchReps, time.Since(start), ok)
+	{
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		_ = single.Shutdown(sctx)
+		cancel()
+	}
+
+	// Phase 6: partitioned structure — a multi-component graph split
+	// into 4 shard-resident parts; every battery query's recombined
+	// count must be bit-identical to the library counting the whole
+	// structure.
+	big1 := clusterBenchStructure(61, 5, 5, 0.4, 3)
+	bigFacts, err := big1.FactsString()
+	if err != nil {
+		return nil, err
+	}
+	cl, shutdown, err = startCluster(2, 1)
+	if err != nil {
+		return nil, err
+	}
+	defer shutdown()
+	if _, err := cl.CreateStructureWith(ctx, serve.CreateStructureRequest{
+		Name: "partitioned", Facts: bigFacts, Partitions: 4,
+	}); err != nil {
+		return nil, err
+	}
+	partQueries := []string{
+		tri,
+		workload.FreePathQuery(2).String(),
+		workload.PathQuery(2).String(),
+		workload.CliqueSentence(3).String(),
+		"mix(x,y) := E(x,y) | E(x,x)",
+		"boolcomp(x) := exists u, v . E(x,u) & E(v,v)",
+	}
+	ok = true
+	start = time.Now()
+	for _, q := range partQueries {
+		wantV, err := expected(q, big1)
+		if err != nil {
+			return nil, err
+		}
+		got, _, err := cl.Count(ctx, q, "partitioned")
+		if err != nil {
+			return nil, err
+		}
+		if got.Cmp(wantV) != 0 {
+			ok = false
+		}
+	}
+	addRow("partitioned /count, IE-recombined (4 parts)", 2, 1, len(partQueries), time.Since(start), ok)
+
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		"all shards and the coordinator are separate in-process servers on real loopback HTTP listeners; every benched response is differential-checked against the library counting the same data in-process",
+		fmt.Sprintf("router: consistent-hash ring (%d vnodes/shard), replica reads pinned by query hash; cluster stats after the partitioned phase: %d scatter-gathers, %d failovers",
+			st.Cluster.VirtualNodes, st.Cluster.ScatterGathers, st.Cluster.Failovers),
+		"warm /count is memo-bound, so the shard sweep measures routing overhead and available parallelism, not executor speed; on a single-core host the 1/2/4-shard curves are flat (all shards share the one core) — on a multi-core host the shard processes would scale the memo-bound ceiling instead",
+		"the partitioned row scatters each term-component query over all parts and recombines by the paper's inclusion–exclusion: connected components sum across disjoint parts, fully-quantified components recombine as satisfiability bits, isolated liberal variables contribute |B|^k with the logical domain size",
+	)
+	return t, nil
+}
+
+// clusterBenchStructure builds a graph of several random clusters plus
+// isolated elements — multiple Gaifman components, so a partitioned
+// create genuinely spreads data across parts.
+func clusterBenchStructure(seed int64, clusters, size int, p float64, isolated int) *structure.Structure {
+	rng := rand.New(rand.NewSource(seed))
+	s := structure.New(workload.EdgeSig())
+	for c := 0; c < clusters; c++ {
+		ids := make([]int, size)
+		for i := range ids {
+			ids[i] = s.EnsureElem(fmt.Sprintf("c%dn%d", c, i))
+		}
+		for i := 0; i < size; i++ {
+			for j := 0; j < size; j++ {
+				if rng.Float64() < p {
+					_ = s.AddTuple("E", ids[i], ids[j])
+				}
+			}
+		}
+	}
+	for k := 0; k < isolated; k++ {
+		s.EnsureElem(fmt.Sprintf("iso%d", k))
+	}
+	return s
+}

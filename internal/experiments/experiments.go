@@ -138,6 +138,7 @@ func All() []Spec {
 		{"S1", "Service throughput — epserved HTTP counting under concurrent clients", RunS1},
 		{"S2", "Delta maintenance — append-stream subscription reads vs full recounts", RunS2},
 		{"D1", "Durability cost — append throughput by fsync policy, recovery-validated", RunD1},
+		{"C1", "Cluster routing — sharded epserved behind a consistent-hash coordinator", RunC1},
 		{"A1", "Ablation — counting engines on one workload", RunA1},
 		{"A2", "Ablation — φ* with vs without cancellation", RunA2},
 		{"A3", "Ablation — normalization (UCQ minimization) on vs off", RunA3},

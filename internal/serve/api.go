@@ -25,6 +25,14 @@ type CreateStructureRequest struct {
 	Name      string    `json:"name"`
 	Facts     string    `json:"facts"`
 	Signature []RelSpec `json:"signature,omitempty"`
+	// Partitions > 1 asks a cluster coordinator to split the
+	// structure's domain into that many shard-resident parts along
+	// connected components of its Gaifman graph; counts against the
+	// logical structure are then computed per part and recombined
+	// exactly (see internal/cluster).  A plain single-node server
+	// rejects a partitioned create — partitioning only means something
+	// behind a coordinator.
+	Partitions int `json:"partitions,omitempty"`
 }
 
 // AppendFactsRequest appends facts to an existing structure.  New
@@ -207,11 +215,60 @@ type HealthzResponse struct {
 	State string `json:"state"`
 }
 
+// ShardStats is one shard's contribution to an aggregated cluster
+// /stats view: the shard's address, whether its health check answered,
+// and the headline counters of its own StatsResponse.
+type ShardStats struct {
+	// Node is the shard's base URL.
+	Node string `json:"node"`
+	// Healthy reports whether the shard answered the stats fan-out.
+	Healthy bool `json:"healthy"`
+	// Structures is the number of structures registered on the shard
+	// (replicas and partition parts count once per holding shard).
+	Structures int `json:"structures"`
+	// Admission is the shard's admission telemetry.
+	Admission AdmissionStats `json:"admission"`
+	// CountCacheHits/Misses sum the shard's per-query count-memo
+	// outcomes.
+	CountCacheHits   uint64 `json:"count_cache_hits"`
+	CountCacheMisses uint64 `json:"count_cache_misses"`
+	// Delta is the shard's incremental-maintenance counters.
+	Delta engine.DeltaCounters `json:"delta"`
+	// Subscriptions is the shard's registered-subscription count.
+	Subscriptions int `json:"subscriptions"`
+}
+
+// ClusterStats is the coordinator's addition to an aggregated /stats
+// response: the per-shard breakdown plus router-level telemetry.  The
+// surrounding StatsResponse fields hold the cluster-wide merge (summed
+// admission counters, merged query stats, summed delta counters), so a
+// dashboard written against a single node reads the same shape.
+type ClusterStats struct {
+	// Shards is the per-shard breakdown, in configuration order.
+	Shards []ShardStats `json:"shards"`
+	// Replicas is the configured replication factor.
+	Replicas int `json:"replicas"`
+	// VirtualNodes is the ring's virtual-node count per shard.
+	VirtualNodes int `json:"virtual_nodes"`
+	// Partitioned is the number of logical partitioned structures the
+	// coordinator tracks.
+	Partitioned int `json:"partitioned"`
+	// ScatterGathers counts fanned-out /countBatch requests; Failovers
+	// counts replica failovers on reads; Rerouted counts structure
+	// groups rerouted to another replica after a shard-level batch
+	// failure.
+	ScatterGathers uint64 `json:"scatter_gathers"`
+	Failovers      uint64 `json:"failovers"`
+	Rerouted       uint64 `json:"rerouted"`
+}
+
 // StatsResponse is the /stats snapshot: admission telemetry, the
 // per-query counter statistics, the structure registry, the
 // process-wide engine session registry, the incremental-maintenance
 // counters, the number of registered subscriptions, and the durability
-// layer.
+// layer.  A cluster coordinator answers the same shape with every
+// counter merged across its shards and the per-shard breakdown under
+// Cluster.
 type StatsResponse struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
 	Admission     AdmissionStats           `json:"admission"`
@@ -222,6 +279,8 @@ type StatsResponse struct {
 	Delta         engine.DeltaCounters     `json:"delta"`
 	Subscriptions int                      `json:"subscriptions"`
 	Durability    DurabilityStats          `json:"durability"`
+	// Cluster is set only on coordinator responses.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response.

@@ -38,6 +38,48 @@ func DefaultRetryPolicy() RetryPolicy {
 	return RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
 }
 
+// APIError is the typed form of every non-2xx server response the
+// client surfaces: the HTTP status, the request that produced it, and
+// the server's message.  Callers that route around failing replicas
+// (the cluster coordinator) inspect Status via errors.As to separate
+// transient refusals (503, 504) from semantic errors (400, 404, 422)
+// that would fail identically everywhere.
+type APIError struct {
+	// Status is the HTTP status code of the response.
+	Status int
+	// Method and Path identify the request.
+	Method, Path string
+	// Msg is the server's error message (empty when the body carried
+	// none).
+	Msg string
+}
+
+// Error renders the error in the client's historical format.
+func (e *APIError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("epserved: %s %s: %s (HTTP %d)", e.Method, e.Path, e.Msg, e.Status)
+	}
+	return fmt.Sprintf("epserved: %s %s: HTTP %d", e.Method, e.Path, e.Status)
+}
+
+// SharedTransport returns an http.Client over one pooled transport
+// tuned for fan-out against a fixed set of epserved hosts: up to
+// maxIdlePerHost warm keep-alive connections are retained per host
+// (≤ 0 selects 32), so a scatter-gather burst reuses TCP connections
+// instead of paying a cold dial per request.  Hand the same client to
+// every NewClient aimed at the fleet so all of them share the pool.
+func SharedTransport(maxIdlePerHost int) *http.Client {
+	if maxIdlePerHost <= 0 {
+		maxIdlePerHost = 32
+	}
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = maxIdlePerHost
+	if tr.MaxIdleConns < 4*maxIdlePerHost {
+		tr.MaxIdleConns = 4 * maxIdlePerHost
+	}
+	return &http.Client{Transport: tr}
+}
+
 // Client is a typed HTTP client for an epserved server.  The zero
 // value is not usable; call NewClient.
 type Client struct {
@@ -172,10 +214,8 @@ func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte
 			retryable = true
 		}
 		var er ErrorResponse
-		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
-			return retryable, retryAfter, fmt.Errorf("epserved: %s %s: %s (HTTP %d)", method, path, er.Error, resp.StatusCode)
-		}
-		return retryable, retryAfter, fmt.Errorf("epserved: %s %s: HTTP %d", method, path, resp.StatusCode)
+		_ = json.NewDecoder(resp.Body).Decode(&er)
+		return retryable, retryAfter, &APIError{Status: resp.StatusCode, Method: method, Path: path, Msg: er.Error}
 	}
 	if out == nil {
 		// Drain so the keep-alive connection returns to the pool.
@@ -187,9 +227,16 @@ func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte
 
 // CreateStructure ingests a named structure from fact syntax.
 func (c *Client) CreateStructure(ctx context.Context, name, facts string, sig []RelSpec) (StructureInfo, error) {
+	return c.CreateStructureWith(ctx, CreateStructureRequest{Name: name, Facts: facts, Signature: sig})
+}
+
+// CreateStructureWith is CreateStructure with full request control —
+// in particular Partitions, which a cluster coordinator honors by
+// splitting the structure's domain across shards (a plain server
+// rejects it).
+func (c *Client) CreateStructureWith(ctx context.Context, req CreateStructureRequest) (StructureInfo, error) {
 	var info StructureInfo
-	err := c.do(ctx, http.MethodPost, "/structures",
-		CreateStructureRequest{Name: name, Facts: facts, Signature: sig}, &info, false)
+	err := c.do(ctx, http.MethodPost, "/structures", req, &info, false)
 	return info, err
 }
 

@@ -270,6 +270,11 @@ func (s *Server) handleCreateStructure(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
+	if req.Partitions != 0 {
+		writeError(w, http.StatusBadRequest,
+			"partitioned structures require a cluster coordinator (this is a single shard node)")
+		return
+	}
 	info, err := s.reg.CreateStructure(req.Name, req.Facts, req.Signature)
 	if err != nil {
 		status := http.StatusBadRequest
