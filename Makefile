@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet doccheck bench bench-smoke bench-baseline bench-compare fuzz-smoke crash-smoke cluster-smoke
+.PHONY: build test race vet doccheck bench bench-smoke bench-baseline bench-compare fuzz-smoke crash-smoke cluster-smoke approx-smoke
 
 # Hot-path micro-benchmarks the bench-baseline / bench-compare pair
 # tracks: bitmap intersection, prefix-index probe+build, memo-warm batch
@@ -82,3 +82,18 @@ crash-smoke:
 # partitioned-count recombination differentials.
 cluster-smoke:
 	$(GO) test -race -count=1 ./internal/cluster
+
+# Statistical acceptance suite for the approximate-counting engine,
+# swept across several disjoint fixed-seed matrices: unbiasedness of the
+# fixed-budget estimator, (ε, δ) interval coverage against exact ground
+# truth, routing differentials (FPT bit-identical, hard sampled), and
+# the serve/cluster approx wire contracts under the race detector.  The
+# tolerances carry a Chernoff-style failure budget, so a red matrix
+# means estimator bias, not bad luck.
+approx-smoke:
+	for base in 1 10001 20002 30003; do \
+		EPCQ_APPROX_SEED_BASE=$$base $(GO) test -count=1 ./internal/approx || exit 1; \
+	done
+	$(GO) test -race -count=1 ./internal/approx ./internal/hom
+	$(GO) test -race -count=1 -run 'TestRoutingMatchesClassify|TestFPTApproxBitIdentical|TestHardRoutingSamples|TestWithRouteBoundsReroutes|TestClassificationMemoizedPerFingerprint' ./internal/core
+	$(GO) test -race -count=1 -run 'Approx|TestHardExactAdmission|TestCountModeValidation' ./internal/serve ./internal/cluster

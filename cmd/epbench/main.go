@@ -1,4 +1,5 @@
-// Command epbench runs the reproduction experiment suite (E1–E9, A1–A5;
+// Command epbench runs the reproduction experiment suite (E1–E10, P1, S1–S2,
+// D1, C1, A1–A6;
 // see DESIGN.md §4) and prints one table per experiment.  Since the paper
 // is a theory paper with no measurement section, these tables are the
 // "figures" of the reproduction: each operationalizes one worked example

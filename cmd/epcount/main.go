@@ -15,11 +15,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/big"
 	"os"
 	"strings"
 	"time"
 
 	epcq "repro"
+	"repro/internal/approx"
 	"repro/internal/core"
 	"repro/internal/count"
 	"repro/internal/engine"
@@ -37,15 +39,29 @@ func main() {
 		timing    = flag.Bool("time", false, "print elapsed wall-clock time")
 		answers   = flag.Int("answers", 0, "also print up to N answers (-1 = all)")
 		workers   = flag.Int("workers", 0, "worker pool size for the parallel join-count executor (0 = EPCQ_WORKERS, else GOMAXPROCS)")
+		mode      = flag.String("mode", "exact", "counting mode: exact | approx (approx samples hard terms, exact terms stay exact)")
+		eps       = flag.Float64("eps", 0, "approx mode: target relative error (0 = 0.1)")
+		delta     = flag.Float64("delta", 0, "approx mode: failure probability (0 = 0.05)")
+		seed      = flag.Int64("seed", 0, "approx mode: RNG seed for reproducible estimates (0 = 1)")
+		maxS      = flag.Int("max-samples", 0, "approx mode: sample-budget cap per component (0 = 200000)")
 	)
 	flag.Parse()
-	if err := run(*queryStr, *queryFile, *dataFile, *engine, *explain, *stats, *verify, *timing, *answers, *workers); err != nil {
+	ao := approxOpts{mode: *mode, eps: *eps, delta: *delta, seed: *seed, maxSamples: *maxS}
+	if err := run(*queryStr, *queryFile, *dataFile, *engine, *explain, *stats, *verify, *timing, *answers, *workers, ao); err != nil {
 		fmt.Fprintln(os.Stderr, "epcount:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queryStr, queryFile, dataFile, engineName string, explain, stats, verify, timing bool, answers, workers int) error {
+// approxOpts carries the -mode/-eps/-delta/-seed/-max-samples flags.
+type approxOpts struct {
+	mode       string
+	eps, delta float64
+	seed       int64
+	maxSamples int
+}
+
+func run(queryStr, queryFile, dataFile, engineName string, explain, stats, verify, timing bool, answers, workers int, ao approxOpts) error {
 	if (queryStr == "") == (queryFile == "") {
 		return fmt.Errorf("exactly one of -query or -queryfile is required")
 	}
@@ -92,13 +108,43 @@ func run(queryStr, queryFile, dataFile, engineName string, explain, stats, verif
 		fmt.Print(c.Explain())
 	}
 	start := time.Now()
-	n, err := c.Count(b)
-	if err != nil {
-		return err
+	var n *big.Int
+	switch ao.mode {
+	case "", "exact":
+		n, err = c.Count(b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%v\n", n)
+	case "approx":
+		res, aerr := c.CountApprox(b, approx.Params{
+			Epsilon:    ao.eps,
+			Delta:      ao.delta,
+			Seed:       ao.seed,
+			MaxSamples: ao.maxSamples,
+		})
+		if aerr != nil {
+			return aerr
+		}
+		n = res.Estimate
+		fmt.Printf("%v\n", n)
+		fmt.Fprintf(os.Stderr, "approx: rel-error ≤ %.4g at confidence %.4g (case %s, %d samples",
+			res.RelErr, res.Confidence, res.Case.Short(), res.Samples)
+		if res.Exact {
+			fmt.Fprint(os.Stderr, ", exact")
+		}
+		if !res.Converged {
+			fmt.Fprint(os.Stderr, ", NOT converged — raise -max-samples")
+		}
+		fmt.Fprintln(os.Stderr, ")")
+	default:
+		return fmt.Errorf("unknown -mode %q (want exact or approx)", ao.mode)
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("%v\n", n)
 	if verify {
+		if ao.mode == "approx" {
+			return fmt.Errorf("-verify cross-checks exact engines and does not apply to -mode approx")
+		}
 		v, err := c.CountWithAllEngines(b)
 		if err != nil {
 			return err

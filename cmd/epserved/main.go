@@ -85,6 +85,7 @@ func main() {
 		replicas  = flag.Int("replicas", 1, "router mode: replication factor (structures live on this many ring successors)")
 		vnodes    = flag.Int("vnodes", 0, "router mode: virtual nodes per shard on the hash ring (0 = 64)")
 		maxIdle   = flag.Int("max-idle-per-host", 0, "router mode: pooled keep-alive connections per shard for scatter-gather fan-out (0 = 32)")
+		hardExact = flag.Int("hard-exact-limit", 0, "reject exact-mode counting of #W[1]-hard queries on structures above this many tuples with 422; clients should retry with mode=approx (0 = no limit)")
 		loadSpecs []loadSpec
 	)
 	flag.Func("load", "preload a structure at startup as name=factfile (repeatable)", func(s string) error {
@@ -99,9 +100,13 @@ func main() {
 
 	var err error
 	if *router != "" {
+		if *hardExact != 0 {
+			fmt.Fprintln(os.Stderr, "epserved: -hard-exact-limit does not apply in router mode (shards enforce admission); set it on the shard processes")
+			os.Exit(1)
+		}
 		err = runRouter(*addr, *router, *replicas, *vnodes, *maxIdle, *timeout, *drain, *dataDir, loadSpecs)
 	} else {
-		err = run(*addr, *workers, *inflight, *timeout, *queryCap, *drain, *dataDir, *fsync, loadSpecs)
+		err = run(*addr, *workers, *inflight, *timeout, *queryCap, *drain, *dataDir, *fsync, *hardExact, loadSpecs)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "epserved:", err)
@@ -151,7 +156,7 @@ func runRouter(addr, shardList string, replicas, vnodes, maxIdle int, timeout, d
 	return co.Shutdown(ctx)
 }
 
-func run(addr string, workers, inflight int, timeout time.Duration, queryCap int, drain time.Duration, dataDir, fsync string, loads []loadSpec) error {
+func run(addr string, workers, inflight int, timeout time.Duration, queryCap int, drain time.Duration, dataDir, fsync string, hardExactLimit int, loads []loadSpec) error {
 	srv := serve.New(serve.Config{
 		Addr:           addr,
 		Workers:        workers,
@@ -160,6 +165,7 @@ func run(addr string, workers, inflight int, timeout time.Duration, queryCap int
 		QueryCacheCap:  queryCap,
 		DataDir:        dataDir,
 		Fsync:          fsync,
+		HardExactLimit: hardExactLimit,
 	})
 	// Without a data dir, preloads land before the listener opens.  With
 	// one, they run after Start's recovery so the creations are logged

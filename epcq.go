@@ -47,6 +47,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"repro/internal/approx"
 	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/count"
@@ -86,6 +87,15 @@ type (
 	Verdict = classify.Verdict
 	// Engine selects a pp-counting algorithm.
 	Engine = count.PPEngine
+	// ApproxParams configures an approximate count: the (ε, δ) target,
+	// the per-component sample caps, and the RNG seed.
+	ApproxParams = approx.Params
+	// ApproxResult is a routed approximate count: the estimate with its
+	// error bound, confidence, trichotomy case and budget telemetry.
+	ApproxResult = core.ApproxResult
+	// HardExactError is the typed admission-control rejection returned
+	// when exact execution of a hard-classified query is refused.
+	HardExactError = core.HardExactError
 )
 
 // Counting engines.
@@ -159,6 +169,20 @@ func Count(q Query, b *Structure) (*big.Int, error) {
 		return nil, err
 	}
 	return c.Count(b)
+}
+
+// CountApprox is the one-shot approximate convenience: compile, route
+// each term through the Theorem 3.2 trichotomy, and count — FPT terms
+// exactly, hard terms with the importance-sampling estimator at the
+// (ε, δ) target (zero values select the defaults 0.1, 0.05).  The same
+// ApproxParams.Seed always yields the same estimate.  For repeated
+// counting, hold a Counter and call its CountApprox method.
+func CountApprox(q Query, b *Structure, prm ApproxParams) (ApproxResult, error) {
+	c, err := core.NewCounter(q, b.Signature(), count.EngineFPT)
+	if err != nil {
+		return ApproxResult{}, err
+	}
+	return c.CountApprox(b, prm)
 }
 
 // CountBatch compiles the query once and counts its answers on every

@@ -36,6 +36,25 @@ func (c Case) String() string {
 	return "unknown"
 }
 
+// Short returns the compact wire name of the case ("fpt", "clique",
+// "sharp-clique"), used by the serving layer's response schema.
+func (c Case) Short() string {
+	switch c {
+	case CaseFPT:
+		return "fpt"
+	case CaseClique:
+		return "clique"
+	case CaseSharpClique:
+		return "sharp-clique"
+	}
+	return "unknown"
+}
+
+// Hard reports whether the case is one of the intractable regimes
+// (cases 2/3), i.e. whether exact counting is not FPT under the
+// bounds the case was computed against.
+func (c Case) Hard() bool { return c == CaseClique || c == CaseSharpClique }
+
 // Report carries the measured structural parameters of one pp-formula.
 type Report struct {
 	Formula pp.PP
@@ -61,6 +80,15 @@ func AnalyzePP(p pp.PP) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
+	return measure(p, core), nil
+}
+
+// AnalyzeCored measures a pp-formula that is already its own core (the
+// interned φ⁻af terms of the counting pipeline are cored by
+// construction), skipping the iterated-retraction core search.
+func AnalyzeCored(p pp.PP) Report { return measure(p, p) }
+
+func measure(p, core pp.PP) Report {
 	r := Report{Formula: p, Core: core}
 	g := core.Graph()
 	r.CoreTreewidth, _, r.CoreExact = tw.Treewidth(g)
@@ -73,7 +101,21 @@ func AnalyzePP(p pp.PP) (Report, error) {
 			r.MaxInterface = len(ec.Interface)
 		}
 	}
-	return r, nil
+	return r
+}
+
+// CaseFor evaluates the trichotomy case of the measured formula against
+// the width bounds (wCore, wContract) — the per-term analogue of
+// ClassifyPPSet's verdict rule.
+func (r Report) CaseFor(wCore, wContract int) Case {
+	switch {
+	case r.ContractTreewidth <= wContract && r.CoreTreewidth <= wCore:
+		return CaseFPT
+	case r.ContractTreewidth <= wContract:
+		return CaseClique
+	default:
+		return CaseSharpClique
+	}
 }
 
 // Verdict classifies a set of measured formulas against width bounds: a

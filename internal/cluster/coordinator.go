@@ -287,19 +287,27 @@ func (co *Coordinator) countOne(ctx context.Context, req serve.CountRequest, ski
 }
 
 // groupResult is one structure's routed count within a scatter-gather
-// batch.
+// batch.  The estimate block is populated in approx mode only.
 type groupResult struct {
 	count   string
 	version uint64
+
+	estimate   string
+	relErr     float64
+	confidence float64
+	caseStr    string
+	samples    int
 }
 
 // scatterBatch fans one query over many plain structures: structures
 // group by their warm replica shard, each group runs as one upstream
 // /countBatch, groups run concurrently, and results reassemble in
-// request order.  A shard-level failoverable failure (503 from a node
+// request order.  base carries the query, engine, timeout, and the
+// approx-mode knobs applied to every structure (base.Structures is
+// ignored).  A shard-level failoverable failure (503 from a node
 // draining, a dropped connection) does not fail the request: that
 // group's structures reroute individually to surviving replicas.
-func (co *Coordinator) scatterBatch(ctx context.Context, query string, names []string, engineName string, timeoutMillis int64) ([]groupResult, error) {
+func (co *Coordinator) scatterBatch(ctx context.Context, base serve.CountBatchRequest, names []string) ([]groupResult, error) {
 	type group struct {
 		node string
 		idx  []int
@@ -307,7 +315,7 @@ func (co *Coordinator) scatterBatch(ctx context.Context, query string, names []s
 	groups := make(map[string]*group)
 	var order []string
 	for i, name := range names {
-		owners, start := co.replicaAt(query, name)
+		owners, start := co.replicaAt(base.Query, name)
 		node := owners[start]
 		g, ok := groups[node]
 		if !ok {
@@ -330,11 +338,20 @@ func (co *Coordinator) scatterBatch(ctx context.Context, query string, names []s
 			for j, i := range g.idx {
 				sub[j] = names[i]
 			}
-			req := serve.CountBatchRequest{Query: query, Structures: sub, Engine: engineName, TimeoutMillis: timeoutMillis}
+			req := base
+			req.Structures = sub
 			_, resp, err := co.client(g.node).CountBatchWith(ctx, req)
 			if err == nil {
 				for j, i := range g.idx {
-					out[i] = groupResult{count: resp.Counts[j], version: resp.Versions[j]}
+					gr := groupResult{count: resp.Counts[j], version: resp.Versions[j]}
+					if j < len(resp.Estimates) {
+						gr.estimate = resp.Estimates[j]
+						gr.relErr = resp.RelErrors[j]
+						gr.confidence = resp.Confidences[j]
+						gr.caseStr = resp.Cases[j]
+						gr.samples = resp.Samples[j]
+					}
+					out[i] = gr
 				}
 				return
 			}
@@ -347,13 +364,19 @@ func (co *Coordinator) scatterBatch(ctx context.Context, query string, names []s
 			co.rerouted.Add(1)
 			for _, i := range g.idx {
 				cresp, cerr := co.countOne(ctx, serve.CountRequest{
-					Query: query, Structure: names[i], Engine: engineName, TimeoutMillis: timeoutMillis,
+					Query: base.Query, Structure: names[i], Engine: base.Engine, TimeoutMillis: base.TimeoutMillis,
+					Mode: base.Mode, Epsilon: base.Epsilon, Delta: base.Delta,
+					MaxSamples: base.MaxSamples, Seed: base.Seed,
 				}, g.node)
 				if cerr != nil {
 					errs[gi] = cerr
 					return
 				}
-				out[i] = groupResult{count: cresp.Count, version: cresp.Version}
+				out[i] = groupResult{
+					count: cresp.Count, version: cresp.Version,
+					estimate: cresp.Estimate, relErr: cresp.RelError,
+					confidence: cresp.Confidence, caseStr: cresp.Case, samples: cresp.Samples,
+				}
 			}
 		}(gi, g)
 	}
@@ -413,7 +436,9 @@ func (co *Coordinator) partitionedCount(ctx context.Context, p *partitioned, que
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
-			results, err := co.scatterBatch(ctx, pl.comps[ci].query, p.parts, engineName, timeoutMillis)
+			results, err := co.scatterBatch(ctx, serve.CountBatchRequest{
+				Query: pl.comps[ci].query, Engine: engineName, TimeoutMillis: timeoutMillis,
+			}, p.parts)
 			if err != nil {
 				errs[ci] = err
 				return

@@ -88,7 +88,9 @@ func writeRoutedError(w http.ResponseWriter, err error) {
 		if msg == "" {
 			msg = ae.Error()
 		}
-		writeError(w, ae.Status, "%s", msg)
+		// Typed admission rejections keep their trichotomy case on the
+		// way through, so cluster clients can switch to approx mode.
+		writeJSON(w, ae.Status, serve.ErrorResponse{Error: msg, Case: ae.Case})
 		return
 	}
 	writeError(w, http.StatusBadGateway, "%v", err)
@@ -228,6 +230,11 @@ func (co *Coordinator) handleCount(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := co.requestCtx(r, req.TimeoutMillis)
 	defer cancel()
 	if p := co.partitionedFor(req.Structure); p != nil {
+		if req.Mode == "approx" {
+			writeError(w, http.StatusBadRequest,
+				"approx mode is not supported on partitioned structures (inclusion–exclusion recombination needs exact part counts)")
+			return
+		}
 		start := time.Now()
 		v, err := co.partitionedCount(ctx, p, req.Query, req.Engine, req.TimeoutMillis)
 		if err != nil {
@@ -271,6 +278,24 @@ func (co *Coordinator) handleCountBatch(w http.ResponseWriter, r *http.Request) 
 			plainIdx = append(plainIdx, i)
 		}
 	}
+	approxMode := req.Mode == "approx"
+	if approxMode && len(partIdx) > 0 {
+		writeError(w, http.StatusBadRequest,
+			"approx mode is not supported on partitioned structures (inclusion–exclusion recombination needs exact part counts)")
+		return
+	}
+	var estimates []string
+	var relErrors []float64
+	var confidences []float64
+	var cases []string
+	var samples []int
+	if approxMode {
+		estimates = make([]string, len(req.Structures))
+		relErrors = make([]float64, len(req.Structures))
+		confidences = make([]float64, len(req.Structures))
+		cases = make([]string, len(req.Structures))
+		samples = make([]int, len(req.Structures))
+	}
 	var wg sync.WaitGroup
 	var errMu sync.Mutex
 	var firstErr error
@@ -289,7 +314,9 @@ func (co *Coordinator) handleCountBatch(w http.ResponseWriter, r *http.Request) 
 			for j, i := range plainIdx {
 				names[j] = req.Structures[i]
 			}
-			results, err := co.scatterBatch(ctx, req.Query, names, req.Engine, req.TimeoutMillis)
+			base := req
+			base.Structures = nil
+			results, err := co.scatterBatch(ctx, base, names)
 			if err != nil {
 				setErr(err)
 				return
@@ -297,6 +324,13 @@ func (co *Coordinator) handleCountBatch(w http.ResponseWriter, r *http.Request) 
 			for j, i := range plainIdx {
 				counts[i] = results[j].count
 				versions[i] = results[j].version
+				if approxMode {
+					estimates[i] = results[j].estimate
+					relErrors[i] = results[j].relErr
+					confidences[i] = results[j].confidence
+					cases[i] = results[j].caseStr
+					samples[i] = results[j].samples
+				}
 			}
 		}()
 	}
@@ -319,9 +353,14 @@ func (co *Coordinator) handleCountBatch(w http.ResponseWriter, r *http.Request) 
 		return
 	}
 	writeJSON(w, http.StatusOK, serve.CountBatchResponse{
-		Counts:    counts,
-		Versions:  versions,
-		ElapsedUS: time.Since(start).Microseconds(),
+		Counts:      counts,
+		Versions:    versions,
+		ElapsedUS:   time.Since(start).Microseconds(),
+		Estimates:   estimates,
+		RelErrors:   relErrors,
+		Confidences: confidences,
+		Cases:       cases,
+		Samples:     samples,
 	})
 }
 

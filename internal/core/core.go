@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/approx"
 	"repro/internal/classify"
 	"repro/internal/count"
 	"repro/internal/engine"
@@ -56,6 +57,16 @@ type Counter struct {
 	// processes may retune the budget while counts are in flight (the
 	// race-free snapshot Stats relies on).
 	workers atomic.Int32
+
+	// Routing state (see routing.go): the width bounds terms were
+	// classified against, the worst case among them, the construction-
+	// time classification-memo outcomes, and the number of approximate
+	// term evaluations performed so far.
+	routeWCore, routeWContract int
+	hardest                    classify.Case
+	classifyAnalyses           int
+	classifyHits               int
+	approxCounts               atomic.Uint64
 }
 
 // compiledTerm is one unique φ⁻af counting class, ready to execute.
@@ -64,6 +75,14 @@ type compiledTerm struct {
 	fp      string // canonical fingerprint ("" = labeling budget exceeded)
 	coeff   *big.Int
 	plan    engine.Plan
+
+	// Routing state (see routing.go): the memoized classification
+	// Report, the trichotomy case under the counter's route bounds, and
+	// — for hard terms — the compiled approximate plan.
+	report   classify.Report
+	analyzed bool
+	caseOf   classify.Case
+	est      *approx.Estimator
 }
 
 // WithWorkers sets the counter's worker budget (n ≤ 0 restores the
@@ -143,6 +162,7 @@ func NewCounter(q logic.Query, sig *structure.Signature, eng count.PPEngine) (*C
 			plan:    plan,
 		})
 	}
+	counter.routeTerms(DefaultRouteWCore, DefaultRouteWContract)
 	return counter, nil
 }
 
@@ -428,13 +448,30 @@ type Stats struct {
 	// Workers is the counter's effective worker budget at snapshot time
 	// (WithWorkers, else EPCQ_WORKERS, else GOMAXPROCS).
 	Workers int
+	// HardestCase is the worst trichotomy case among the terms under
+	// the route bounds (RouteWCore, RouteWContract); TermsFPT/TermsHard
+	// split the terms by routing decision.
+	HardestCase                classify.Case
+	RouteWCore, RouteWContract int
+	TermsFPT, TermsHard        int
+	// ClassifyAnalyses/ClassifyHits are the construction-time outcomes
+	// of the fingerprint-keyed classification memo for this counter's
+	// terms: analyses actually run vs reports reused.  A warm memo makes
+	// ClassifyAnalyses 0 — classification runs once per interned class,
+	// not once per Counter.
+	ClassifyAnalyses, ClassifyHits int
+	// ApproxCounts is the number of approximate term evaluations
+	// (CountApprox hard-term executions) performed so far.
+	ApproxCounts uint64
 }
 
 // String renders the telemetry block shared by Explain and epcount
 // -stats.
 func (st Stats) String() string {
-	return fmt.Sprintf("term pool: %s\nplans: %d (one per unique surviving term; %d shared via fingerprint cache)\ncount cache: %d hits, %d misses\nworkers: %d\n",
-		st.Pool, st.Plans, st.SharedPlans, st.CountCacheHits, st.CountCacheMisses, st.Workers)
+	return fmt.Sprintf("term pool: %s\nplans: %d (one per unique surviving term; %d shared via fingerprint cache)\ncount cache: %d hits, %d misses\nworkers: %d\nrouting vs bounds (%d,%d): %s — %d exact term(s), %d approx term(s); classify memo: %d analyses, %d hits; approx evals: %d\n",
+		st.Pool, st.Plans, st.SharedPlans, st.CountCacheHits, st.CountCacheMisses, st.Workers,
+		st.RouteWCore, st.RouteWContract, st.HardestCase.Short(), st.TermsFPT, st.TermsHard,
+		st.ClassifyAnalyses, st.ClassifyHits, st.ApproxCounts)
 }
 
 // Stats returns a consistent snapshot of the counter's interning and
@@ -449,6 +486,19 @@ func (c *Counter) Stats() Stats {
 		CountCacheHits:   c.countHits.Load(),
 		CountCacheMisses: c.countMisses.Load(),
 		Workers:          c.effWorkers(),
+		HardestCase:      c.hardest,
+		RouteWCore:       c.routeWCore,
+		RouteWContract:   c.routeWContract,
+		ClassifyAnalyses: c.classifyAnalyses,
+		ClassifyHits:     c.classifyHits,
+		ApproxCounts:     c.approxCounts.Load(),
+	}
+	for i := range c.terms {
+		if c.terms[i].est != nil {
+			st.TermsHard++
+		} else {
+			st.TermsFPT++
+		}
 	}
 	if c.Compiled != nil && c.Compiled.Pool != nil {
 		st.Pool = c.Compiled.Pool.Stats()

@@ -1,0 +1,16 @@
+package engine
+
+import (
+	"repro/internal/approx"
+	"repro/internal/pp"
+)
+
+// PlanApprox compiles the approximate-counting plan for a pp-formula:
+// the sampling-based estimator of internal/approx, with the Gaifman
+// component split done once here at compile time.  It is the routing
+// target for terms whose trichotomy classification lands in the hard
+// regime (cases 2/3), where no exact engine Name is fixed-parameter
+// tractable.  The returned estimator is immutable and safe for
+// concurrent Count calls; per-call (ε, δ) targets and seeds are supplied
+// through approx.Params.
+func PlanApprox(p pp.PP) *approx.Estimator { return approx.New(p) }

@@ -14,10 +14,10 @@ import (
 	"repro/internal/workload"
 )
 
-// RunA1 compares all counting engines on one moderate workload.
-func RunA1(cfg Config) (*Table, error) {
+// RunA6 compares all counting engines on one moderate workload.
+func RunA6(cfg Config) (*Table, error) {
 	t := &Table{
-		ID:      "A1",
+		ID:      "A6",
 		Title:   "Ablation: counting engines on the path query over G(n, 4/n)",
 		Columns: []string{"engine", "n", "count", "time"},
 		OK:      true,

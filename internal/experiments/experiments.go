@@ -139,11 +139,12 @@ func All() []Spec {
 		{"S2", "Delta maintenance — append-stream subscription reads vs full recounts", RunS2},
 		{"D1", "Durability cost — append throughput by fsync policy, recovery-validated", RunD1},
 		{"C1", "Cluster routing — sharded epserved behind a consistent-hash coordinator", RunC1},
-		{"A1", "Ablation — counting engines on one workload", RunA1},
+		{"A1", "Approximation — exact vs sampled counting in the hard regime", RunA1},
 		{"A2", "Ablation — φ* with vs without cancellation", RunA2},
 		{"A3", "Ablation — normalization (UCQ minimization) on vs off", RunA3},
 		{"A4", "Ablation — FPT engine with vs without core computation", RunA4},
 		{"A5", "Ablation — exact vs heuristic treewidth in the classifier", RunA5},
+		{"A6", "Ablation — counting engines on one workload", RunA6},
 	}
 }
 

@@ -61,6 +61,26 @@ func (b bitset) empty() bool {
 	return true
 }
 
+// nth returns the k-th smallest member (0-based), or -1 if the set has
+// fewer than k+1 members.  Used by the importance sampler to draw a
+// uniform member without materializing the set.
+func (b bitset) nth(k int) int {
+	for i, w := range b {
+		c := bits.OnesCount64(w)
+		if k >= c {
+			k -= c
+			continue
+		}
+		for ; w != 0; w &^= w & -w {
+			if k == 0 {
+				return i*64 + bits.TrailingZeros64(w)
+			}
+			k--
+		}
+	}
+	return -1
+}
+
 // first returns the smallest member, or -1 if empty.
 func (b bitset) first() int {
 	for i, w := range b {

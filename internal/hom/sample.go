@@ -1,0 +1,97 @@
+package hom
+
+import (
+	"math/rand"
+
+	"repro/internal/structure"
+)
+
+// Sampler draws Horvitz–Thompson samples of the answer set φ(B) of a
+// pp-formula with liberal variables proj: each draw fixes the liberal
+// variables one at a time to a uniformly random member of their current
+// GAC-propagated domain, accumulating the product of the domain sizes as
+// the importance weight, and then checks that the partial assignment
+// extends to a full homomorphism.  Because arc-consistency propagation
+// only removes values with no supporting tuple, every answer survives
+// every propagation step, so the weighted indicator is an unbiased
+// estimator of |φ(B)|: E[Sample] = |φ(B)| exactly.
+//
+// A Sampler amortizes solver construction and the initial propagation
+// across draws; it reuses the solver's pooled domain copies and is
+// therefore NOT safe for concurrent use.  Create one Sampler per
+// goroutine.
+type Sampler struct {
+	s    *solver
+	proj []int
+	dom0 []bitset
+	maxW float64
+	zero bool
+}
+
+// NewSampler prepares a sampler for homomorphisms A → B projected onto
+// the A-elements proj.  Construction runs the initial propagation once;
+// if it already wipes out a domain the count is exactly zero and
+// ExactZero reports true.
+func NewSampler(A, B *structure.Structure, proj []int, opts Options) *Sampler {
+	sp := &Sampler{s: newSolver(A, B, opts), proj: append([]int(nil), proj...)}
+	dom, ok := sp.s.initialDomains()
+	if !ok {
+		sp.zero = true
+		return sp
+	}
+	sp.dom0 = dom
+	sp.maxW = 1
+	for _, v := range sp.proj {
+		sp.maxW *= float64(dom[v].count())
+	}
+	return sp
+}
+
+// ExactZero reports whether the initial propagation proved |φ(B)| = 0,
+// in which case Sample always returns 0 and the zero is exact.
+func (sp *Sampler) ExactZero() bool { return sp.zero }
+
+// MaxWeight returns an upper bound on the value any single Sample draw
+// can return: the product of the liberal variables' initial propagated
+// domain sizes (domains only shrink as variables are fixed).
+func (sp *Sampler) MaxWeight() float64 {
+	if sp.zero {
+		return 0
+	}
+	return sp.maxW
+}
+
+// Sample performs one draw and returns its importance weight: the
+// product of the domain sizes seen while fixing the liberal variables if
+// the drawn partial assignment extends to a full homomorphism, and 0
+// otherwise (a dead branch).  The expectation over draws equals |φ(B)|.
+func (sp *Sampler) Sample(rng *rand.Rand) float64 {
+	if sp.zero {
+		return 0
+	}
+	dom := sp.s.cloneDoms(sp.dom0)
+	defer sp.s.releaseDoms(dom)
+	w := 1.0
+	for _, v := range sp.proj {
+		c := dom[v].count()
+		if c == 0 {
+			return 0
+		}
+		pick := dom[v].nth(rng.Intn(c))
+		w *= float64(c)
+		dom[v].zero()
+		dom[v].set(pick)
+		if !sp.s.propagate(dom, append([]int(nil), sp.s.consOf[v]...)) {
+			return 0
+		}
+	}
+	found := false
+	sp.s.search(dom, func([]int) bool {
+		found = true
+		return false
+	})
+	if !found {
+		return 0
+	}
+	return w
+}

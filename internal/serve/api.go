@@ -88,14 +88,48 @@ type CountRequest struct {
 	// request (0 = server default; values above the server default are
 	// clamped to it).
 	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// Mode selects the execution mode: "exact" (default) or "approx".
+	// Approx mode routes each term of the query through the trichotomy
+	// classifier — FPT terms run the exact executor, hard terms the
+	// sampling estimator — and the response carries estimate, rel_error,
+	// confidence, and case alongside count.
+	Mode string `json:"mode,omitempty"`
+	// Epsilon / Delta are the approx-mode (ε, δ) target: relative error
+	// ε with probability ≥ 1-δ (defaults 0.1 / 0.05).  Ignored in exact
+	// mode.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	Delta   float64 `json:"delta,omitempty"`
+	// MaxSamples caps the draws each sampled component may spend
+	// (0 = engine default).  Ignored in exact mode.
+	MaxSamples int `json:"max_samples,omitempty"`
+	// Seed seeds the approx-mode RNG; the same seed yields the same
+	// estimate (0 = engine default).  Ignored in exact mode.
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // CountResponse is one count: the decimal answer count and the
-// structure version it was computed against.
+// structure version it was computed against.  Approx-mode responses
+// also populate the estimate block (Count then equals Estimate, so
+// mode-unaware readers keep working).
 type CountResponse struct {
 	Count     string `json:"count"`
 	Version   uint64 `json:"version"`
 	ElapsedUS int64  `json:"elapsed_us"`
+	// Estimate is the approximate count as a decimal string (approx
+	// mode only; equal to Count).
+	Estimate string `json:"estimate,omitempty"`
+	// RelError is the achieved relative half-width of the confidence
+	// interval; Confidence the probability the true count lies within
+	// Estimate·(1±RelError).
+	RelError   float64 `json:"rel_error,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
+	// Case is the query's hardest trichotomy case ("fpt", "clique",
+	// "sharp-clique") — the signal that drove the routing.
+	Case string `json:"case,omitempty"`
+	// Samples is the total sampling budget spent; Exact reports that
+	// every term resolved exactly (RelError 0, Confidence 1).
+	Samples int  `json:"samples,omitempty"`
+	Exact   bool `json:"exact,omitempty"`
 }
 
 // CountBatchRequest counts one query on many named structures in one
@@ -105,14 +139,31 @@ type CountBatchRequest struct {
 	Structures    []string `json:"structures"`
 	Engine        string   `json:"engine,omitempty"`
 	TimeoutMillis int64    `json:"timeout_ms,omitempty"`
+	// Mode / Epsilon / Delta / MaxSamples / Seed are the approx-mode
+	// knobs, with the same semantics as on CountRequest, applied to
+	// every structure of the batch.
+	Mode       string  `json:"mode,omitempty"`
+	Epsilon    float64 `json:"epsilon,omitempty"`
+	Delta      float64 `json:"delta,omitempty"`
+	MaxSamples int     `json:"max_samples,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
 }
 
 // CountBatchResponse carries the per-structure counts in request order,
-// with the versions they were computed against.
+// with the versions they were computed against.  Approx-mode responses
+// also carry the per-structure estimate blocks (aligned with Counts;
+// Counts then equals Estimates).
 type CountBatchResponse struct {
 	Counts    []string `json:"counts"`
 	Versions  []uint64 `json:"versions"`
 	ElapsedUS int64    `json:"elapsed_us"`
+	Estimates []string `json:"estimates,omitempty"`
+	// RelErrors / Confidences / Cases / Samples align with Counts
+	// (approx mode only); see CountResponse for the field semantics.
+	RelErrors   []float64 `json:"rel_errors,omitempty"`
+	Confidences []float64 `json:"confidences,omitempty"`
+	Cases       []string  `json:"cases,omitempty"`
+	Samples     []int     `json:"samples,omitempty"`
 }
 
 // SubscribeRequest registers a maintained count: a query bound to a
@@ -163,6 +214,16 @@ type QueryStats struct {
 	// CountCacheHits/Misses are the per-session count-memo outcomes.
 	CountCacheHits   uint64 `json:"count_cache_hits"`
 	CountCacheMisses uint64 `json:"count_cache_misses"`
+	// Case is the counter's hardest trichotomy case under the route
+	// bounds; TermsHard the number of approx-routed terms;
+	// ClassifyAnalyses/ClassifyHits the construction-time
+	// classification-memo outcomes; ApproxCounts the approximate term
+	// evaluations served so far.
+	Case             string `json:"case,omitempty"`
+	TermsHard        int    `json:"terms_hard,omitempty"`
+	ClassifyAnalyses int    `json:"classify_analyses,omitempty"`
+	ClassifyHits     int    `json:"classify_hits,omitempty"`
+	ApproxCounts     uint64 `json:"approx_counts,omitempty"`
 }
 
 // AdmissionStats counts the admission controller's decisions since
@@ -283,9 +344,13 @@ type StatsResponse struct {
 	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
 
-// ErrorResponse is the JSON body of every non-2xx response.
+// ErrorResponse is the JSON body of every non-2xx response.  Case is
+// set on admission-control rejections of exact-mode hard queries (the
+// typed rejection clients switch to approx mode on): the query's
+// hardest trichotomy case, as in CountResponse.Case.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	Case  string `json:"case,omitempty"`
 }
 
 // queryStatsFrom flattens a counter's Stats into the wire shape.
@@ -298,5 +363,10 @@ func queryStatsFrom(query, engineName string, st core.Stats) QueryStats {
 		SharedPlans:      st.SharedPlans,
 		CountCacheHits:   st.CountCacheHits,
 		CountCacheMisses: st.CountCacheMisses,
+		Case:             st.HardestCase.Short(),
+		TermsHard:        st.TermsHard,
+		ClassifyAnalyses: st.ClassifyAnalyses,
+		ClassifyHits:     st.ClassifyHits,
+		ApproxCounts:     st.ApproxCounts,
 	}
 }

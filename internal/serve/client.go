@@ -52,6 +52,10 @@ type APIError struct {
 	// Msg is the server's error message (empty when the body carried
 	// none).
 	Msg string
+	// Case is the query's trichotomy case on typed admission rejections
+	// of exact-mode hard queries ("clique", "sharp-clique"); empty
+	// otherwise.  Clients switch to mode "approx" on seeing it.
+	Case string
 }
 
 // Error renders the error in the client's historical format.
@@ -215,7 +219,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte
 		}
 		var er ErrorResponse
 		_ = json.NewDecoder(resp.Body).Decode(&er)
-		return retryable, retryAfter, &APIError{Status: resp.StatusCode, Method: method, Path: path, Msg: er.Error}
+		return retryable, retryAfter, &APIError{Status: resp.StatusCode, Method: method, Path: path, Msg: er.Error, Case: er.Case}
 	}
 	if out == nil {
 		// Drain so the keep-alive connection returns to the pool.
@@ -294,6 +298,20 @@ func (c *Client) CountWith(ctx context.Context, req CountRequest) (*big.Int, Cou
 		return nil, resp, fmt.Errorf("epserved: malformed count %q", resp.Count)
 	}
 	return v, resp, nil
+}
+
+// CountApprox counts the query on one registered structure in approx
+// mode with the given (ε, δ) target (0, 0 selects the server defaults
+// 0.1, 0.05): hard-classified terms run the sampling estimator, FPT
+// terms the exact executor.  The returned big.Int is the point
+// estimate; the CountResponse carries rel_error, confidence, case, and
+// samples.  Use CountWith for the remaining approx knobs (seed,
+// max_samples).
+func (c *Client) CountApprox(ctx context.Context, query, structureName string, eps, delta float64) (*big.Int, CountResponse, error) {
+	return c.CountWith(ctx, CountRequest{
+		Query: query, Structure: structureName,
+		Mode: "approx", Epsilon: eps, Delta: delta,
+	})
 }
 
 // CountBatch counts the query on several registered structures in one

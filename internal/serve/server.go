@@ -10,6 +10,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/approx"
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/structure"
 	"repro/internal/wal"
@@ -48,6 +50,13 @@ type Config struct {
 	// CompactBytes is the WAL size that triggers snapshot-then-truncate
 	// compaction (0 = 64 MiB, < 0 = never).
 	CompactBytes int64
+	// HardExactLimit enables the trichotomy admission rule: exact-mode
+	// counting requests whose query classifies into the hard regime
+	// (cases 2/3 of Theorem 3.2) are rejected with a typed 422 error
+	// (ErrorResponse.Case set) when the target structure has more than
+	// this many tuples — the client should switch to mode "approx".
+	// 0 disables the rule (every request is admitted, as before).
+	HardExactLimit int
 }
 
 func (c Config) withDefaults() Config {
@@ -248,6 +257,29 @@ func (s *Server) requestCtx(r *http.Request, timeoutMillis int64) (context.Conte
 	return context.WithTimeout(r.Context(), d)
 }
 
+// parseMode validates a count request's execution mode.
+func parseMode(mode string) (approxMode bool, err error) {
+	switch mode {
+	case "", "exact":
+		return false, nil
+	case "approx":
+		return true, nil
+	default:
+		return false, fmt.Errorf("serve: unknown mode %q (want \"exact\" or \"approx\")", mode)
+	}
+}
+
+// rejectHardExact writes the typed admission rejection for exact
+// execution of a hard-classified query (422 with the trichotomy case).
+func rejectHardExact(w http.ResponseWriter, err error) {
+	var hee *core.HardExactError
+	if errors.As(err, &hee) {
+		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error(), Case: hee.Case.Short()})
+		return
+	}
+	writeError(w, http.StatusUnprocessableEntity, "%v", err)
+}
+
 // countStatus maps a counting error to an HTTP status.
 func (s *Server) countStatus(err error) int {
 	switch {
@@ -352,6 +384,11 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	approxMode, err := parseMode(req.Mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	e, err := s.reg.entry(req.Structure)
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
@@ -371,6 +408,34 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	// executes against one consistent structure version.
 	e.mu.RLock()
 	version := e.b.Version()
+	if approxMode {
+		res, aerr := c.CountApproxCtx(ctx, e.b, approx.Params{
+			Epsilon: req.Epsilon, Delta: req.Delta,
+			MaxSamples: req.MaxSamples, Seed: req.Seed,
+		})
+		e.mu.RUnlock()
+		if aerr != nil {
+			writeError(w, s.countStatus(aerr), "%v", aerr)
+			return
+		}
+		writeJSON(w, http.StatusOK, CountResponse{
+			Count:      res.Estimate.String(),
+			Estimate:   res.Estimate.String(),
+			RelError:   res.RelErr,
+			Confidence: res.Confidence,
+			Case:       res.Case.Short(),
+			Samples:    res.Samples,
+			Exact:      res.Exact,
+			Version:    version,
+			ElapsedUS:  time.Since(start).Microseconds(),
+		})
+		return
+	}
+	if aerr := c.AdmitExact(e.b, s.cfg.HardExactLimit); aerr != nil {
+		e.mu.RUnlock()
+		rejectHardExact(w, aerr)
+		return
+	}
 	v, err := c.CountCtx(ctx, e.b)
 	e.mu.RUnlock()
 	if err != nil {
@@ -399,6 +464,11 @@ func (s *Server) handleCountBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	eng, err := parseEngine(req.Engine)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	approxMode, err := parseMode(req.Mode)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -440,6 +510,52 @@ func (s *Server) handleCountBatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r, req.TimeoutMillis)
 	defer cancel()
 	start := time.Now()
+	if approxMode {
+		prm := approx.Params{
+			Epsilon: req.Epsilon, Delta: req.Delta,
+			MaxSamples: req.MaxSamples, Seed: req.Seed,
+		}
+		results := make([]core.ApproxResult, len(bs))
+		outer := engine.EffectiveWorkers(s.cfg.Workers)
+		if outer > len(bs) {
+			outer = len(bs)
+		}
+		err := engine.RunBoundedCtx(ctx, len(bs), outer, func(i int) error {
+			res, aerr := c.CountApproxCtx(ctx, bs[i], prm)
+			results[i] = res
+			return aerr
+		})
+		if err != nil {
+			writeError(w, s.countStatus(err), "%v", err)
+			return
+		}
+		resp := CountBatchResponse{
+			Counts:      make([]string, len(results)),
+			Versions:    versions,
+			Estimates:   make([]string, len(results)),
+			RelErrors:   make([]float64, len(results)),
+			Confidences: make([]float64, len(results)),
+			Cases:       make([]string, len(results)),
+			Samples:     make([]int, len(results)),
+			ElapsedUS:   time.Since(start).Microseconds(),
+		}
+		for i, res := range results {
+			resp.Counts[i] = res.Estimate.String()
+			resp.Estimates[i] = res.Estimate.String()
+			resp.RelErrors[i] = res.RelErr
+			resp.Confidences[i] = res.Confidence
+			resp.Cases[i] = res.Case.Short()
+			resp.Samples[i] = res.Samples
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	for _, b := range bs {
+		if aerr := c.AdmitExact(b, s.cfg.HardExactLimit); aerr != nil {
+			rejectHardExact(w, aerr)
+			return
+		}
+	}
 	vs, err := c.CountBatchCtx(ctx, bs)
 	if err != nil {
 		writeError(w, s.countStatus(err), "%v", err)
